@@ -1,0 +1,211 @@
+// Benchmarks regenerating every figure of the paper's evaluation plus
+// the headline single-run comparisons. One benchmark per figure:
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration performs the figure's full workload matrix on the
+// simulated 16-worker cluster, so ns/op is the wall cost of
+// regenerating that figure (the virtual cluster time is orders of
+// magnitude larger).
+package smapreduce_test
+
+import (
+	"testing"
+
+	smapreduce "smapreduce"
+	"smapreduce/internal/experiments"
+)
+
+// benchCfg runs the figures at half the paper's input scale: identical
+// shapes, roughly half the wall time per iteration.
+func benchCfg() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Scale = 0.5
+	return cfg
+}
+
+func BenchmarkFigure1Thrashing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3ExecTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4Progress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5SlotSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6InputScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8MultiGrep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9MultiInvIdx(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleJob measures one 50 GB HistogramRating run per engine —
+// the unit of work every figure is built from.
+func BenchmarkSingleJob(b *testing.B) {
+	for _, engine := range []smapreduce.Engine{smapreduce.HadoopV1, smapreduce.YARN, smapreduce.SMapReduce} {
+		engine := engine
+		b.Run(engine.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := smapreduce.Run(engine, smapreduce.Options{},
+					smapreduce.Job("histogram-ratings", 50<<10, 30)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation and extension benches (DESIGN.md §6).
+
+func BenchmarkAblationBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBounds(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSlowStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSlowStart(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationConfirmations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationConfirmations(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLazyVsEager(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationLazyVsEager(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTailBoost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTailBoost(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeterogeneousCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Heterogeneous(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Schedulers(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpeculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Speculation(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOversubscription(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Oversubscription(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.OracleGap(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControllerComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ControllerComparison(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkewSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SkewSensitivity(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TraceWorkload(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command localrun executes a named MapReduce job with the real
+// in-process engine over a text file (or stdin), writing
+// "key<TAB>value" results to stdout. It pairs with pumagen:
+//
+//	pumagen -kind text -lines 100000 | localrun -job wordcount
+//	pumagen -kind ratings -lines 50000 | localrun -job histogram-ratings
+//	localrun -job grep -pattern error -in app.log
+//	localrun -job sequence-count -in corpus.txt -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"smapreduce/internal/localmr"
+)
+
+func main() {
+	var (
+		jobName  = flag.String("job", "wordcount", "job: wordcount | grep | histogram-ratings | sequence-count | adjacency-list | kmeans")
+		pattern  = flag.String("pattern", "", "pattern for -job grep")
+		kCentres = flag.Int("k", 4, "cluster count for -job kmeans")
+		inPath   = flag.String("in", "", "input file (default stdin)")
+		workers  = flag.Int("workers", 4, "maximum worker pool size")
+		parts    = flag.Int("partitions", 4, "reduce partitions")
+		static   = flag.Bool("static", false, "disable the dynamic pool manager")
+		poolLog  = flag.Bool("pool-log", false, "print pool manager decisions to stderr")
+		showStat = flag.Bool("stats", false, "print execution statistics to stderr")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	text := string(data)
+
+	if strings.ToLower(*jobName) == "kmeans" {
+		pts, err := localmr.ParsePoints(text)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := localmr.KMeans(localmr.Config{
+			MapWorkers: 2, ReduceWorkers: 2, MaxWorkers: *workers, Partitions: *parts, Dynamic: !*static,
+		}, pts, *kCentres, 50, 1e-6)
+		if err != nil {
+			fatal(err)
+		}
+		for i, c := range res.Centres {
+			fmt.Printf("centre%d\t%.4f,%.4f\n", i, c.X, c.Y)
+		}
+		if *showStat {
+			fmt.Fprintf(os.Stderr, "converged in %d iterations (final shift %.2g)\n", res.Iterations, res.Shift)
+		}
+		return
+	}
+
+	var job localmr.Job
+	switch strings.ToLower(*jobName) {
+	case "wordcount":
+		job = localmr.WordCount(text)
+	case "grep":
+		if *pattern == "" {
+			fatal(fmt.Errorf("-job grep requires -pattern"))
+		}
+		job = localmr.Grep(text, *pattern)
+	case "histogram-ratings":
+		job = localmr.HistogramRatings(text)
+	case "sequence-count":
+		job = localmr.SequenceCount(map[string]string{"stdin": text})
+	case "adjacency-list":
+		job = localmr.AdjacencyList(text)
+	default:
+		fatal(fmt.Errorf("unknown job %q", *jobName))
+	}
+
+	cfg := localmr.Config{
+		MapWorkers:    2,
+		ReduceWorkers: 2,
+		MaxWorkers:    *workers,
+		Partitions:    *parts,
+		Dynamic:       !*static,
+	}
+	if cfg.MapWorkers > cfg.MaxWorkers {
+		cfg.MapWorkers = cfg.MaxWorkers
+	}
+	if cfg.ReduceWorkers > cfg.MaxWorkers {
+		cfg.ReduceWorkers = cfg.MaxWorkers
+	}
+
+	res, err := localmr.Run(cfg, job)
+	if err != nil {
+		fatal(err)
+	}
+	if err := localmr.WriteOutput(os.Stdout, res.Pairs); err != nil {
+		fatal(err)
+	}
+	if *showStat {
+		fmt.Fprintf(os.Stderr, "map tasks %d, reduce tasks %d, shuffle records %d, output %d, pool peaks map=%d reduce=%d\n",
+			res.Stats.MapTasks, res.Stats.ReduceTasks, res.Stats.Intermediate,
+			res.Stats.Output, res.Stats.MapPoolPeak, res.Stats.ReducePoolPeak)
+	}
+	if *poolLog {
+		for _, d := range res.Stats.PoolDecisions {
+			fmt.Fprintf(os.Stderr, "pool %s -> %d (%s)\n", d.Stage, d.Workers, d.Reason)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "localrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command pumagen lists the PUMA workload profiles and generates
+// synthetic datasets for the real in-process engine examples: text
+// corpora, movie-ratings files, edge lists and 2-D point clouds,
+// written to stdout.
+//
+// Usage:
+//
+//	pumagen -list
+//	pumagen -kind text -lines 10000 > corpus.txt
+//	pumagen -kind ratings -lines 50000 > ratings.tsv
+//	pumagen -kind edges -lines 20000 -vertices 500 > graph.txt
+//	pumagen -kind points -lines 10000 -k 4 > points.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smapreduce/internal/puma"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list workload profiles and exit")
+	kind := flag.String("kind", "text", "dataset kind: text | ratings | edges | points")
+	lines := flag.Int("lines", 1000, "lines to generate")
+	wordsPerLine := flag.Int("words", 8, "words per line (text)")
+	movies := flag.Int("movies", 500, "distinct movies (ratings)")
+	vertices := flag.Int("vertices", 200, "vertices (edges)")
+	k := flag.Int("k", 4, "cluster centres (points)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-24s %-12s %8s %10s %12s\n", "benchmark", "class", "shuffle", "peak slots", "mapCPU s/MB")
+		for _, p := range puma.All() {
+			fmt.Printf("%-24s %-12s %8.4f %10.1f %12.3f\n",
+				p.Name, p.Class(), p.ShuffleRatio(), p.MapPeakSlots, p.MapCPUPerMB)
+		}
+		return
+	}
+
+	var err error
+	switch *kind {
+	case "text":
+		err = puma.GenText(os.Stdout, *seed, *lines, *wordsPerLine)
+	case "ratings":
+		err = puma.GenRatings(os.Stdout, *seed, *lines, *movies)
+	case "edges":
+		err = puma.GenEdges(os.Stdout, *seed, *lines, *vertices)
+	case "points":
+		err = puma.GenPoints(os.Stdout, *seed, *lines, *k)
+	default:
+		err = fmt.Errorf("unknown kind %q (text | ratings | edges | points)", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pumagen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,286 @@
+// Command smrbench regenerates the paper's evaluation figures (Fig. 1
+// and Figs. 3–9) on the simulated cluster and prints one table per
+// figure — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	smrbench                 # all figures at paper scale
+//	smrbench -fig 3 -fig 6   # a subset
+//	smrbench -scale 0.25     # quicker, smaller inputs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"smapreduce/internal/experiments"
+	"smapreduce/internal/metrics"
+)
+
+// figList collects repeated -fig flags.
+type figList []int
+
+func (f *figList) String() string { return fmt.Sprint([]int(*f)) }
+
+func (f *figList) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, n)
+	return nil
+}
+
+func main() {
+	var figs figList
+	scale := flag.Float64("scale", 1.0, "input size multiplier (1.0 = paper scale)")
+	workers := flag.Int("workers", 16, "task trackers")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	trials := flag.Int("trials", 1, "average metrics over N trials (the paper uses 2)")
+	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
+	charts := flag.Bool("charts", false, "print an ASCII chart under each figure that has one")
+	extras := flag.Bool("extras", false, "also run the beyond-the-paper experiments (ablations, heterogeneous cluster, schedulers, speculation)")
+	flag.Var(&figs, "fig", "figure number to run (repeatable; default: all)")
+	flag.Parse()
+
+	if len(figs) == 0 {
+		figs = figList{1, 3, 4, 5, 6, 7, 8, 9}
+	}
+	sort.Ints(figs)
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+	cfg.Trials = *trials
+
+	type figOut struct {
+		table *metrics.Table
+		chart string
+	}
+	type runner struct {
+		name string
+		run  func() (figOut, error)
+	}
+	runners := map[int]runner{
+		1: {"Figure 1", func() (figOut, error) {
+			r, err := experiments.Figure1(cfg)
+			if err != nil {
+				return figOut{}, err
+			}
+			return figOut{r.Table(), r.Chart()}, nil
+		}},
+		3: {"Figure 3", func() (figOut, error) {
+			r, err := experiments.Figure3(cfg)
+			if err != nil {
+				return figOut{}, err
+			}
+			return figOut{r.Table(), r.Chart()}, nil
+		}},
+		4: {"Figure 4", func() (figOut, error) {
+			r, err := experiments.Figure4(cfg)
+			if err != nil {
+				return figOut{}, err
+			}
+			return figOut{r.Table(), r.Chart()}, nil
+		}},
+		5: {"Figure 5", func() (figOut, error) {
+			r, err := experiments.Figure5(cfg)
+			if err != nil {
+				return figOut{}, err
+			}
+			return figOut{r.Table(), ""}, nil
+		}},
+		6: {"Figure 6", func() (figOut, error) {
+			r, err := experiments.Figure6(cfg)
+			if err != nil {
+				return figOut{}, err
+			}
+			return figOut{r.Table(), r.Chart()}, nil
+		}},
+		7: {"Figure 7", func() (figOut, error) {
+			r, err := experiments.Figure7(cfg)
+			if err != nil {
+				return figOut{}, err
+			}
+			return figOut{r.Table(), ""}, nil
+		}},
+		8: {"Figure 8", func() (figOut, error) {
+			r, err := experiments.Figure8(cfg)
+			if err != nil {
+				return figOut{}, err
+			}
+			return figOut{r.Table(), r.Chart()}, nil
+		}},
+		9: {"Figure 9", func() (figOut, error) {
+			r, err := experiments.Figure9(cfg)
+			if err != nil {
+				return figOut{}, err
+			}
+			return figOut{r.Table(), r.Chart()}, nil
+		}},
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	emit := func(slug string, t *metrics.Table) {
+		fmt.Print(t.String())
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, slug+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("smrbench: %d workers, scale %.2f, seed %d\n\n", cfg.Workers, cfg.Scale, cfg.Seed)
+	var failed []string
+	for _, n := range figs {
+		r, ok := runners[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "smrbench: no figure %d (figure 2 is the architecture diagram)\n", n)
+			continue
+		}
+		start := time.Now()
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %s failed: %v\n", r.name, err)
+			failed = append(failed, r.name)
+			continue
+		}
+		emit(fmt.Sprintf("fig%d", n), out.table)
+		if *charts && out.chart != "" {
+			fmt.Print(out.chart)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *extras {
+		type extra struct {
+			slug string
+			run  func() (*metrics.Table, error)
+		}
+		extraRuns := []extra{
+			{"ablation-bounds", func() (*metrics.Table, error) {
+				r, err := experiments.AblationBounds(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"ablation-slowstart", func() (*metrics.Table, error) {
+				r, err := experiments.AblationSlowStart(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"ablation-confirmations", func() (*metrics.Table, error) {
+				r, err := experiments.AblationConfirmations(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"ablation-lazy-eager", func() (*metrics.Table, error) {
+				r, err := experiments.AblationLazyVsEager(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"ablation-tailboost", func() (*metrics.Table, error) {
+				r, err := experiments.AblationTailBoost(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"heterogeneous", func() (*metrics.Table, error) {
+				r, err := experiments.Heterogeneous(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"schedulers", func() (*metrics.Table, error) {
+				r, err := experiments.Schedulers(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"speculation", func() (*metrics.Table, error) {
+				r, err := experiments.Speculation(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"oversubscription", func() (*metrics.Table, error) {
+				r, err := experiments.Oversubscription(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"oracle-gap", func() (*metrics.Table, error) {
+				r, err := experiments.OracleGap(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"controllers", func() (*metrics.Table, error) {
+				r, err := experiments.ControllerComparison(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"skew", func() (*metrics.Table, error) {
+				r, err := experiments.SkewSensitivity(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+			{"trace", func() (*metrics.Table, error) {
+				r, err := experiments.TraceWorkload(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
+		}
+		for _, e := range extraRuns {
+			start := time.Now()
+			t, err := e.run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "smrbench: %s failed: %v\n", e.slug, err)
+				failed = append(failed, e.slug)
+				continue
+			}
+			emit(e.slug, t)
+			fmt.Printf("(%s in %v)\n\n", e.slug, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "smrbench: failed: %s\n", strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// Command smrsim runs one MapReduce workload on a simulated cluster
+// under a chosen engine and prints the timeline, slot decisions and
+// final metrics.
+//
+// Usage:
+//
+//	smrsim -engine smapreduce -bench terasort -input-gb 100
+//	smrsim -engine hadoopv1 -bench grep -workers 16 -map-slots 3
+//	smrsim -bench inverted-index -jobs 4 -stagger 5 -trace
+//	smrsim -bench grep -speculate -slow-nodes 4 -fail-at 30 -fail-id 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smapreduce/internal/cli"
+	"smapreduce/internal/core"
+	"smapreduce/internal/mr"
+	"smapreduce/internal/puma"
+)
+
+func main() {
+	var (
+		engineName  = flag.String("engine", "smapreduce", "engine: hadoopv1 | yarn | smapreduce")
+		bench       = flag.String("bench", "histogram-ratings", "PUMA benchmark (see -list)")
+		inputGB     = flag.Float64("input-gb", 100, "input size per job in GB")
+		reduces     = flag.Int("reduces", 30, "reduce tasks per job")
+		jobs        = flag.Int("jobs", 1, "number of identical jobs to submit")
+		stagger     = flag.Float64("stagger", 5, "seconds between job submissions")
+		workers     = flag.Int("workers", 16, "task trackers")
+		mapSlots    = flag.Int("map-slots", 3, "initial map slots per tracker")
+		reduceSlots = flag.Int("reduce-slots", 2, "initial reduce slots per tracker")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		trace       = flag.Bool("trace", false, "print runtime trace lines")
+		list        = flag.Bool("list", false, "list benchmarks and exit")
+		scheduler   = flag.String("scheduler", "fifo", "job scheduler: fifo | fair")
+		speculate   = flag.Bool("speculate", false, "enable speculative map execution")
+		failAt      = flag.Float64("fail-at", 0, "kill tracker -fail-id at this virtual second (0 = no failure)")
+		failID      = flag.Int("fail-id", 0, "tracker to kill when -fail-at is set")
+		slowNodes   = flag.Int("slow-nodes", 0, "make the last N nodes half-speed (heterogeneous cluster)")
+		eventsPath  = flag.String("events", "", "write the structured runtime event log (JSONL) to this file")
+		history     = flag.Bool("history", false, "print the per-job history report")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available benchmarks:")
+		for _, p := range puma.All() {
+			fmt.Printf("  %-24s %-12s shuffle ratio %.4f, thrash peak %.1f slots\n",
+				p.Name, p.Class(), p.ShuffleRatio(), p.MapPeakSlots)
+		}
+		return
+	}
+
+	engine, err := cli.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	cluster, err := cli.BuildCluster(cli.ClusterOptions{
+		Workers:     *workers,
+		MapSlots:    *mapSlots,
+		ReduceSlots: *reduceSlots,
+		Seed:        *seed,
+		Scheduler:   *scheduler,
+		Speculate:   *speculate,
+		SlowNodes:   *slowNodes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := cli.BuildJobs(*bench, *inputGB, *reduces, *jobs, *stagger)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch engine {
+	case core.EngineHadoopV1:
+		cluster.Policy = mr.HadoopV1
+	case core.EngineYARN:
+		cluster.Policy = mr.YARN
+	case core.EngineSMapReduce:
+		cluster.Policy = mr.Dynamic
+	}
+	c, err := mr.NewCluster(cluster)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		c.Trace = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	var mgr *core.SlotManager
+	if engine == core.EngineSMapReduce {
+		mgr = core.MustNewSlotManager(core.SlotManagerConfig{})
+		if err := c.SetController(mgr); err != nil {
+			fatal(err)
+		}
+	}
+	if *failAt > 0 {
+		c.ScheduleFailure(*failID, *failAt)
+	}
+	var log *mr.EventLog
+	if *eventsPath != "" {
+		log = c.EnableEventLog(0)
+	}
+
+	ran, err := c.Run(specs...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if log != nil {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := log.WriteJSONL(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "smrsim: wrote %d events to %s\n", len(log.Events()), *eventsPath)
+	}
+
+	fmt.Printf("engine: %v   cluster: %d workers, %d/%d initial slots\n",
+		engine, cluster.Workers, cluster.MapSlots, cluster.ReduceSlots)
+	fmt.Printf("%-20s %10s %10s %10s %12s\n", "job", "map s", "reduce s", "exec s", "MB/s")
+	var meanSum, last float64
+	for _, j := range ran {
+		fmt.Printf("%-20s %10.1f %10.1f %10.1f %12.1f\n",
+			j.Spec.Name, j.MapTime(), j.ReduceTime(), j.ExecutionTime(), j.ThroughputMBps())
+		meanSum += j.ExecutionTime()
+		if j.FinishedAt > last {
+			last = j.FinishedAt
+		}
+	}
+	if len(ran) > 1 {
+		fmt.Printf("mean exec: %.1f s   last finish: %.1f s\n", meanSum/float64(len(ran)), last)
+	}
+	if mgr != nil && len(mgr.Decisions()) > 0 {
+		fmt.Println("\nslot manager decisions:")
+		for _, d := range mgr.Decisions() {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+	if *history {
+		fmt.Println()
+		for _, j := range ran {
+			fmt.Print(j.Report(c).String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+package smapreduce_test
+
+import (
+	"fmt"
+
+	smapreduce "smapreduce"
+)
+
+// ExampleRun simulates one small HistogramRating job on the SMapReduce
+// engine and inspects the outcome. Virtual times are deterministic for
+// a fixed seed; here we print structural facts that hold across
+// calibration changes.
+func ExampleRun() {
+	cluster := smapreduce.DefaultCluster()
+	cluster.Workers = 4
+	cluster.Net.Nodes = 4
+	res, err := smapreduce.Run(smapreduce.SMapReduce,
+		smapreduce.Options{Cluster: cluster},
+		smapreduce.Job("histogram-ratings", 2048, 8))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	j := res.Jobs[0]
+	fmt.Println("finished:", j.Finished())
+	fmt.Println("maps:", j.NumMaps(), "reduces:", j.NumReduces())
+	fmt.Println("barrier before finish:", j.BarrierAt < j.FinishedAt)
+	// Output:
+	// finished: true
+	// maps: 16 reduces: 8
+	// barrier before finish: true
+}
+
+// ExampleJob shows the spec builder for a named PUMA benchmark.
+func ExampleJob() {
+	spec := smapreduce.Job("terasort", 100<<10, 30)
+	fmt.Println(spec.Name, spec.Reduces, spec.Profile.Class())
+	// Output:
+	// terasort 30 reduce-heavy
+}

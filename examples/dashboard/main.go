@@ -1,0 +1,77 @@
+// Dashboard runs one job with the structured event log and utilisation
+// recording enabled, then renders a terminal dashboard: progress and
+// utilisation sparklines, the event summary, per-job history, and the
+// slowest tasks — the observability surface an operator of this system
+// would live in.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smapreduce/internal/core"
+	"smapreduce/internal/metrics"
+	"smapreduce/internal/mr"
+	"smapreduce/internal/puma"
+)
+
+func main() {
+	cfg := mr.DefaultConfig()
+	cfg.Policy = mr.Dynamic
+	c, err := mr.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := core.MustNewSlotManager(core.SlotManagerConfig{})
+	if err := c.SetController(mgr); err != nil {
+		log.Fatal(err)
+	}
+	events := c.EnableEventLog(0)
+	util := c.EnableUtilisation()
+
+	jobs, err := c.Run(mr.JobSpec{
+		Name:    "inverted-index",
+		Profile: puma.MustGet("inverted-index"),
+		InputMB: 60 << 10,
+		Reduces: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	j := jobs[0]
+
+	const width = 48
+	fmt.Printf("inverted-index, 60 GB, 16 workers under SMapReduce — finished in %.0f s\n\n", j.ExecutionTime())
+
+	fmt.Printf("%-16s %s\n", "progress %", metrics.Sparkline(j.Progress.Total.Points(), width))
+	fmt.Printf("%-16s %s  (peak %.0f)\n", "running maps",
+		metrics.Sparkline(util.RunningMaps.Points(), width), util.RunningMaps.MaxV())
+	fmt.Printf("%-16s %s  (peak %.0f)\n", "running reduces",
+		metrics.Sparkline(util.RunningReduces.Points(), width), util.RunningReduces.MaxV())
+	fmt.Printf("%-16s %s  (peak %.0f MB/s)\n", "map input rate",
+		metrics.Sparkline(util.MapInputMBps.Points(), width), util.MapInputMBps.MaxV())
+	fmt.Printf("%-16s %s  (peak %.0f MB/s)\n", "shuffle rate",
+		metrics.Sparkline(util.ShuffleMBps.Points(), width), util.ShuffleMBps.MaxV())
+
+	fmt.Println("\nslot manager decisions:")
+	for _, d := range mgr.Decisions() {
+		fmt.Printf("  [%7.1f] maps=%d reduces=%d  %s\n", d.At, d.MapTarget, d.ReduceTarget, d.Reason)
+	}
+
+	fmt.Println("\njob history:")
+	fmt.Print(j.Report(c).String())
+
+	fmt.Println("latest-starting tasks (the stragglers):")
+	for _, task := range j.Report(c).SlowestTasks(3) {
+		fmt.Printf("  %s/%d on tracker %d, started %.1f s\n", task.Type, task.ID, task.Tracker, task.StartedAt)
+	}
+
+	fmt.Printf("\nevent log: %d events (", len(events.Events()))
+	for i, kind := range []mr.EventKind{mr.EvTaskStarted, mr.EvTaskDone, mr.EvSlotChange} {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s ×%d", kind, len(events.Filter(kind)))
+	}
+	fmt.Println(")")
+}

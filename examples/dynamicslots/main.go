@@ -1,0 +1,36 @@
+// Dynamicslots traces the slot manager's reasoning on two contrasting
+// workloads — a map-heavy scan (grep) and a reduce-heavy sort
+// (terasort) — showing the balance factor, the thrashing detector and
+// the tail-stretch conversion at work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	smapreduce "smapreduce"
+)
+
+func run(bench string, inputGB float64) {
+	fmt.Printf("== %s, %.0f GB ==\n", bench, inputGB)
+	r, err := smapreduce.Run(smapreduce.SMapReduce, smapreduce.Options{},
+		smapreduce.Job(bench, inputGB*1024, 30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	j := r.Jobs[0]
+	fmt.Printf("map %.1f s, reduce %.1f s, exec %.1f s\n", j.MapTime(), j.ReduceTime(), j.ExecutionTime())
+	fmt.Println("decision log:")
+	for _, d := range r.Decisions {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("SMapReduce slot manager decision traces")
+	fmt.Println("f = Rs/Rm: >upper bound → map-heavy (grow maps); <lower → reduce-heavy (shrink)")
+	fmt.Println()
+	run("grep", 100)     // map-heavy: expect a climb toward the thrashing point
+	run("terasort", 100) // reduce-heavy: expect balance to hold near the start config
+}

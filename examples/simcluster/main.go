@@ -1,0 +1,52 @@
+// Simcluster reproduces the paper's headline comparison interactively:
+// one 150 GB HistogramRating job on HadoopV1, YARN and SMapReduce over
+// the simulated 16-worker cluster, with per-engine progress milestones.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	smapreduce "smapreduce"
+)
+
+func main() {
+	const inputGB = 150
+	fmt.Printf("HistogramRating, %d GB input, 16 workers, 3 map + 2 reduce initial slots\n\n", inputGB)
+
+	type outcome struct {
+		engine smapreduce.Engine
+		result *smapreduce.Result
+	}
+	var outcomes []outcome
+	for _, engine := range []smapreduce.Engine{smapreduce.HadoopV1, smapreduce.YARN, smapreduce.SMapReduce} {
+		r, err := smapreduce.Run(engine, smapreduce.Options{},
+			smapreduce.Job("histogram-ratings", inputGB<<10, 30))
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{engine, r})
+	}
+
+	fmt.Printf("%-12s %10s %10s %10s %12s %14s\n",
+		"engine", "map s", "reduce s", "exec s", "MB/s", "t(50% maps) s")
+	for _, o := range outcomes {
+		j := o.result.Jobs[0]
+		fmt.Printf("%-12v %10.1f %10.1f %10.1f %12.1f %14.1f\n",
+			o.engine, j.MapTime(), j.ReduceTime(), j.ExecutionTime(), j.ThroughputMBps(),
+			j.Progress.Map.CrossingTime(50))
+	}
+
+	base := outcomes[0].result.Jobs[0].ThroughputMBps()
+	fmt.Println()
+	for _, o := range outcomes[1:] {
+		gain := o.result.Jobs[0].ThroughputMBps()/base - 1
+		fmt.Printf("%v throughput vs HadoopV1: %+.0f%%\n", o.engine, 100*gain)
+	}
+
+	smr := outcomes[2].result
+	fmt.Printf("\nSMapReduce made %d slot decisions; final targets per node: %d map / %d reduce\n",
+		len(smr.Decisions),
+		smr.Decisions[len(smr.Decisions)-1].MapTarget,
+		smr.Decisions[len(smr.Decisions)-1].ReduceTarget)
+}

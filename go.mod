@@ -1,0 +1,3 @@
+module smapreduce
+
+go 1.22

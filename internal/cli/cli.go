@@ -1,0 +1,129 @@
+// Package cli holds the option parsing and cluster assembly shared by
+// the command-line tools, so smrsim/smrbench/localrun stay thin and the
+// translation from flags to configurations is tested once.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"smapreduce/internal/core"
+	"smapreduce/internal/mr"
+	"smapreduce/internal/puma"
+	"smapreduce/internal/resource"
+)
+
+// ParseEngine maps a user-facing engine name to the core engine.
+func ParseEngine(name string) (core.Engine, error) {
+	switch strings.ToLower(name) {
+	case "hadoopv1", "v1", "hadoop":
+		return core.EngineHadoopV1, nil
+	case "yarn":
+		return core.EngineYARN, nil
+	case "smapreduce", "smr":
+		return core.EngineSMapReduce, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (hadoopv1 | yarn | smapreduce)", name)
+	}
+}
+
+// ParseScheduler maps a scheduler name to the runtime kind.
+func ParseScheduler(name string) (mr.SchedulerKind, error) {
+	switch strings.ToLower(name) {
+	case "fifo":
+		return mr.FIFO, nil
+	case "fair":
+		return mr.Fair, nil
+	case "priority":
+		return mr.Priority, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q (fifo | fair | priority)", name)
+	}
+}
+
+// ClusterOptions carries the cluster-shaping flags of the CLIs.
+type ClusterOptions struct {
+	Workers     int
+	MapSlots    int
+	ReduceSlots int
+	Seed        uint64
+	Scheduler   string
+	Speculate   bool
+	SlowNodes   int // last N nodes at half speed with doubled contention
+}
+
+// BuildCluster turns the options into a validated cluster config.
+func BuildCluster(o ClusterOptions) (mr.Config, error) {
+	cfg := mr.DefaultConfig()
+	if o.Workers > 0 {
+		cfg.Workers = o.Workers
+		cfg.Net.Nodes = o.Workers
+	}
+	if o.MapSlots > 0 {
+		cfg.MapSlots = o.MapSlots
+		if cfg.MaxMapSlots < o.MapSlots {
+			cfg.MaxMapSlots = o.MapSlots
+		}
+	}
+	if o.ReduceSlots > 0 {
+		cfg.ReduceSlots = o.ReduceSlots
+		if cfg.MaxReduceSlots < o.ReduceSlots {
+			cfg.MaxReduceSlots = o.ReduceSlots
+		}
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	cfg.Speculation = o.Speculate
+	if o.Scheduler != "" {
+		kind, err := ParseScheduler(o.Scheduler)
+		if err != nil {
+			return mr.Config{}, err
+		}
+		cfg.Scheduler = kind
+	}
+	if o.SlowNodes > 0 {
+		if o.SlowNodes >= cfg.Workers {
+			return mr.Config{}, fmt.Errorf("slow-nodes %d must leave at least one full-speed worker", o.SlowNodes)
+		}
+		specs := make([]resource.Spec, cfg.Workers)
+		for i := range specs {
+			specs[i] = cfg.NodeSpec
+			if i >= cfg.Workers-o.SlowNodes {
+				specs[i].CoreSpeed *= 0.5
+				specs[i].ContentionScale *= 2
+			}
+		}
+		cfg.NodeSpecs = specs
+	}
+	if err := cfg.Validate(); err != nil {
+		return mr.Config{}, err
+	}
+	return cfg, nil
+}
+
+// BuildJobs creates n identical job specs of a named benchmark,
+// submitted stagger seconds apart.
+func BuildJobs(bench string, inputGB float64, reduces, n int, stagger float64) ([]mr.JobSpec, error) {
+	profile, err := puma.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("job count %d must be positive", n)
+	}
+	specs := make([]mr.JobSpec, n)
+	for i := range specs {
+		specs[i] = mr.JobSpec{
+			Name:     fmt.Sprintf("%s-%d", bench, i+1),
+			Profile:  profile,
+			InputMB:  inputGB * 1024,
+			Reduces:  reduces,
+			SubmitAt: float64(i) * stagger,
+		}
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
+}

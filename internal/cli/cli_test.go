@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"testing"
+
+	"smapreduce/internal/core"
+	"smapreduce/internal/mr"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := map[string]core.Engine{
+		"hadoopv1": core.EngineHadoopV1, "v1": core.EngineHadoopV1, "Hadoop": core.EngineHadoopV1,
+		"yarn": core.EngineYARN, "YARN": core.EngineYARN,
+		"smapreduce": core.EngineSMapReduce, "SMR": core.EngineSMapReduce,
+	}
+	for in, want := range cases {
+		got, err := ParseEngine(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseEngine(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseEngine("spark"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestParseScheduler(t *testing.T) {
+	if k, err := ParseScheduler("FIFO"); err != nil || k != mr.FIFO {
+		t.Fatalf("fifo: %v %v", k, err)
+	}
+	if k, err := ParseScheduler("fair"); err != nil || k != mr.Fair {
+		t.Fatalf("fair: %v %v", k, err)
+	}
+	if _, err := ParseScheduler("lottery"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestBuildClusterDefaultsAndOverrides(t *testing.T) {
+	cfg, err := BuildCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := mr.DefaultConfig()
+	if cfg.Workers != def.Workers || cfg.MapSlots != def.MapSlots {
+		t.Fatalf("zero options changed defaults: %+v", cfg)
+	}
+	cfg, err = BuildCluster(ClusterOptions{Workers: 8, MapSlots: 20, ReduceSlots: 8, Seed: 9, Scheduler: "fair", Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 8 || cfg.MapSlots != 20 || cfg.MaxMapSlots != 20 ||
+		cfg.ReduceSlots != 8 || cfg.MaxReduceSlots != 8 ||
+		cfg.Seed != 9 || cfg.Scheduler != mr.Fair || !cfg.Speculation {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildClusterSlowNodes(t *testing.T) {
+	cfg, err := BuildCluster(ClusterOptions{Workers: 4, SlowNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.NodeSpecs) != 4 {
+		t.Fatalf("node specs = %d", len(cfg.NodeSpecs))
+	}
+	if cfg.NodeSpecs[0].CoreSpeed != cfg.NodeSpec.CoreSpeed {
+		t.Fatal("fast node altered")
+	}
+	if cfg.NodeSpecs[3].CoreSpeed >= cfg.NodeSpec.CoreSpeed {
+		t.Fatal("slow node not slowed")
+	}
+	if _, err := BuildCluster(ClusterOptions{Workers: 4, SlowNodes: 4}); err == nil {
+		t.Fatal("all-slow cluster accepted")
+	}
+}
+
+func TestBuildClusterRejectsBadScheduler(t *testing.T) {
+	if _, err := BuildCluster(ClusterOptions{Scheduler: "bogus"}); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+}
+
+func TestBuildJobs(t *testing.T) {
+	specs, err := BuildJobs("grep", 10, 8, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for i, s := range specs {
+		if s.InputMB != 10*1024 || s.Reduces != 8 {
+			t.Fatalf("spec %d: %+v", i, s)
+		}
+		if s.SubmitAt != float64(i)*5 {
+			t.Fatalf("stagger wrong at %d: %v", i, s.SubmitAt)
+		}
+	}
+	if _, err := BuildJobs("nope", 10, 8, 1, 0); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := BuildJobs("grep", 10, 8, 0, 0); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	if _, err := BuildJobs("grep", -1, 8, 1, 0); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"smapreduce/internal/mr"
+	"smapreduce/internal/stats"
+)
+
+// Engine selects which of the three evaluated systems runs a workload.
+type Engine int
+
+const (
+	// EngineHadoopV1 is the static-slot baseline.
+	EngineHadoopV1 Engine = iota
+	// EngineYARN is the container baseline with map priority.
+	EngineYARN
+	// EngineSMapReduce is HadoopV1 plus the dynamic slot manager.
+	EngineSMapReduce
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineHadoopV1:
+		return "HadoopV1"
+	case EngineYARN:
+		return "YARN"
+	case EngineSMapReduce:
+		return "SMapReduce"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Engines lists the three systems in the order the paper plots them.
+func Engines() []Engine {
+	return []Engine{EngineHadoopV1, EngineYARN, EngineSMapReduce}
+}
+
+// Options configures a Run.
+type Options struct {
+	// Cluster is the base cluster configuration; its Policy field is
+	// overridden by the chosen engine. Zero value means mr.DefaultConfig.
+	Cluster mr.Config
+	// SlotManager tunes the SMapReduce controller; ignored for the
+	// baselines. Zero value means paper defaults.
+	SlotManager SlotManagerConfig
+	// Trace, when non-nil, receives runtime trace lines.
+	Trace func(format string, args ...any)
+}
+
+// Result is the outcome of running a workload on one engine.
+type Result struct {
+	Engine Engine
+	Jobs   []*mr.Job
+	// Decisions is the slot manager's log (SMapReduce only).
+	Decisions []Decision
+}
+
+// Run executes the given jobs on the chosen engine and returns the
+// completed jobs with their timing milestones.
+func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
+	cfg := opts.Cluster
+	if cfg.Workers == 0 { // zero value: adopt defaults
+		cfg = mr.DefaultConfig()
+	}
+	switch engine {
+	case EngineHadoopV1:
+		cfg.Policy = mr.HadoopV1
+	case EngineYARN:
+		cfg.Policy = mr.YARN
+	case EngineSMapReduce:
+		cfg.Policy = mr.Dynamic
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", engine)
+	}
+
+	c, err := mr.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Trace = opts.Trace
+
+	res := &Result{Engine: engine}
+	var mgr *SlotManager
+	if engine == EngineSMapReduce {
+		mgr, err = NewSlotManager(opts.SlotManager)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.SetController(mgr); err != nil {
+			return nil, err
+		}
+	}
+
+	jobs, err := c.Run(specs...)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = jobs
+	if mgr != nil {
+		res.Decisions = mgr.Decisions()
+	}
+	return res, nil
+}
+
+// MeanExecutionTime averages execution time over the result's jobs.
+func (r *Result) MeanExecutionTime() float64 {
+	times := make([]float64, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		times = append(times, j.ExecutionTime())
+	}
+	return stats.Mean(times)
+}
+
+// LastFinish returns the completion time of the last job to finish.
+func (r *Result) LastFinish() float64 {
+	last := 0.0
+	for _, j := range r.Jobs {
+		if j.FinishedAt > last {
+			last = j.FinishedAt
+		}
+	}
+	return last
+}

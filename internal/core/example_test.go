@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"smapreduce/internal/core"
+	"smapreduce/internal/mr"
+	"smapreduce/internal/puma"
+)
+
+// ExampleRun compares the three engines on one workload and prints the
+// structural outcome (virtual times vary with calibration; the ordering
+// of engines and the presence of slot decisions are the stable facts).
+func ExampleRun() {
+	cluster := mr.DefaultConfig()
+	cluster.Workers = 4
+	cluster.Net.Nodes = 4
+	spec := mr.JobSpec{
+		Name:    "histogram-ratings",
+		Profile: puma.MustGet("histogram-ratings"),
+		InputMB: 8 << 10,
+		Reduces: 8,
+	}
+	var v1, smr float64
+	for _, engine := range core.Engines() {
+		res, err := core.Run(engine, core.Options{Cluster: cluster}, spec)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		switch engine {
+		case core.EngineHadoopV1:
+			v1 = res.Jobs[0].ExecutionTime()
+		case core.EngineSMapReduce:
+			smr = res.Jobs[0].ExecutionTime()
+			fmt.Println("slot decisions made:", len(res.Decisions) > 0)
+		}
+	}
+	fmt.Println("SMapReduce faster than HadoopV1:", smr < v1)
+	// Output:
+	// slot decisions made: true
+	// SMapReduce faster than HadoopV1: true
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"smapreduce/internal/mr"
+)
+
+func runHC(t *testing.T, spec mr.JobSpec) (*mr.Job, *HillClimber) {
+	t.Helper()
+	hc := NewHillClimber()
+	jobs, err := RunWithController(hc, smallCluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs[0], hc
+}
+
+func TestHillClimberCompletesAndDecides(t *testing.T) {
+	j, hc := runHC(t, job("grep", 16*1024, 8))
+	if !j.Finished() {
+		t.Fatal("unfinished")
+	}
+	if len(hc.Decisions()) == 0 {
+		t.Fatal("hill climber never moved")
+	}
+	for _, d := range hc.Decisions() {
+		if !strings.HasPrefix(d.Reason, "hill-climb") {
+			t.Fatalf("foreign decision: %+v", d)
+		}
+		if d.MapTarget < 1 {
+			t.Fatalf("bad target: %+v", d)
+		}
+	}
+}
+
+func TestHillClimberMatchesManagerOnMapHeavy(t *testing.T) {
+	// On a map-heavy job the barrier plays no role, so model-free hill
+	// climbing should be competitive with the full slot manager.
+	hcJob, _ := runHC(t, job("grep", 24*1024, 8))
+	smrJob, _ := runManaged(t, SlotManagerConfig{}, job("grep", 24*1024, 8))
+	if hcJob.ExecutionTime() > 1.25*smrJob.ExecutionTime() {
+		t.Fatalf("hill climber (%v) far behind manager (%v) on map-heavy",
+			hcJob.ExecutionTime(), smrJob.ExecutionTime())
+	}
+}
+
+func TestHillClimberLosesOnReduceHeavy(t *testing.T) {
+	// On a reduce-heavy job the climber chases map throughput the
+	// shuffle cannot absorb; the balance-factor manager must not lose
+	// to it, and typically wins on the post-barrier tail.
+	hcJob, _ := runHC(t, job("terasort", 12*1024, 8))
+	smrJob, _ := runManaged(t, SlotManagerConfig{}, job("terasort", 12*1024, 8))
+	if smrJob.ExecutionTime() > 1.05*hcJob.ExecutionTime() {
+		t.Fatalf("manager (%v) lost to hill climber (%v) on reduce-heavy",
+			smrJob.ExecutionTime(), hcJob.ExecutionTime())
+	}
+}
+
+func TestRunWithControllerValidates(t *testing.T) {
+	if _, err := RunWithController(NewHillClimber(), smallCluster()); err == nil {
+		t.Fatal("no jobs accepted")
+	}
+	bad := smallCluster()
+	bad.Workers = -1
+	if _, err := RunWithController(NewHillClimber(), bad, job("grep", 1024, 4)); err == nil {
+		t.Fatal("bad cluster accepted")
+	}
+}

@@ -1,0 +1,531 @@
+// Package core implements the paper's contribution: the SMapReduce
+// slot manager, a runtime controller that retunes the number of map and
+// reduce working slots on every task tracker to maximise cluster
+// resource utilisation around the map/reduce synchronisation barrier.
+//
+// The algorithm follows §III–IV of the paper:
+//
+//   - Slow start: no decisions until a fraction (default 10%) of the
+//     map tasks have finished reporting statistics.
+//   - Balance (front stretch): compare the achievable shuffle rate Rs
+//     against the map output rate of one reduce partition,
+//     Rm = (n/N)·Rt. If f = Rs/Rm exceeds the upper bound the job is
+//     map-heavy and map slots grow by one; below the lower bound it is
+//     reduce-heavy and map slots shrink by one; in between the system
+//     is in the Balanced State and nothing changes.
+//   - Thrashing detection: the per-slot map processing rate is recorded
+//     for every slot count. After an increase, once the rate has had
+//     StabilizeDelay seconds to settle, a drop below the previous slot
+//     count's rate marks the state "suspected"; consecutive suspected
+//     observations confirm thrashing, the increase is rolled back and
+//     a ceiling is remembered.
+//   - Tail stretch: when no map tasks remain pending, map slots are
+//     released and — only if the job's shuffle volume per reducer is
+//     small — reduce slots are boosted to finish the tail faster.
+//
+// The manager plugs into the runtime as an mr.Controller and talks to
+// trackers exclusively through the job tracker's desired-slot table,
+// which trackers pick up in their next heartbeat (command-in-heartbeat,
+// §III-C) and apply lazily (§III-D).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"smapreduce/internal/mr"
+	"smapreduce/internal/stats"
+)
+
+// SlotManagerConfig tunes the slot manager. Zero values are replaced by
+// the paper's defaults in NewSlotManager.
+type SlotManagerConfig struct {
+	// Interval between decisions, seconds. The paper's manager runs
+	// "after every time period" long enough for all trackers to have
+	// heartbeated; with 1 s heartbeats 5 s is comfortable.
+	Interval float64
+
+	// SlowStartFraction of map tasks that must finish before the first
+	// decision (paper default 10%).
+	SlowStartFraction float64
+
+	// Balance-factor bounds (§IV-A3). Between them the system is
+	// considered balanced.
+	LowerBound float64
+	UpperBound float64
+
+	// StabilizeDelay is how long after a slot change the map rate is
+	// left out of thrashing judgements (§IV-A2, "grow gradually to a
+	// stable range").
+	StabilizeDelay float64
+
+	// RateWindow is the sliding window over which the manager computes
+	// map and shuffle rates from the cumulative work counters. It must
+	// span at least a couple of map waves, because within one wave the
+	// instantaneous rate swings between full speed (map phase) and near
+	// zero (sort/spill phase).
+	RateWindow float64
+
+	// SuspectConfirmations is how many consecutive suspected-thrashing
+	// observations confirm thrashing (§IV-A2 gives the system "another
+	// chance"; 2 matches the paper).
+	SuspectConfirmations int
+
+	// TailShufflePerReduceMB is the "small shuffle" threshold under
+	// which the tail stretch may add reduce slots (§III-B3).
+	TailShufflePerReduceMB float64
+
+	// Ablation switches (Fig. 7), named so the zero value is the
+	// paper's full algorithm.
+	DisableThrashDetection bool
+	DisableSlowStart       bool
+	DisableTailBoost       bool
+
+	// PerNodeScaling scales each tracker's slot targets by its node's
+	// compute capacity relative to the cluster mean — the natural
+	// extension of the paper's uniform targets to the heterogeneous
+	// clusters its future-work section names. Off by default (the
+	// paper's homogeneous behaviour).
+	PerNodeScaling bool
+}
+
+// DefaultSlotManagerConfig returns the paper's settings.
+func DefaultSlotManagerConfig() SlotManagerConfig {
+	return SlotManagerConfig{
+		Interval:               5,
+		SlowStartFraction:      0.10,
+		LowerBound:             0.80,
+		UpperBound:             1.30,
+		StabilizeDelay:         10,
+		RateWindow:             24,
+		SuspectConfirmations:   2,
+		TailShufflePerReduceMB: 256,
+	}
+}
+
+// Validate reports the first problem with the config, or nil.
+func (c SlotManagerConfig) Validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("core: Interval = %v, must be positive", c.Interval)
+	case c.SlowStartFraction < 0 || c.SlowStartFraction > 1:
+		return fmt.Errorf("core: SlowStartFraction = %v, must be in [0,1]", c.SlowStartFraction)
+	case c.LowerBound <= 0 || c.UpperBound < c.LowerBound:
+		return fmt.Errorf("core: bounds [%v,%v] invalid", c.LowerBound, c.UpperBound)
+	case c.StabilizeDelay < 0:
+		return fmt.Errorf("core: StabilizeDelay = %v, must be >= 0", c.StabilizeDelay)
+	case c.RateWindow <= 0:
+		return fmt.Errorf("core: RateWindow = %v, must be positive", c.RateWindow)
+	case c.SuspectConfirmations < 1:
+		return fmt.Errorf("core: SuspectConfirmations = %d, must be >= 1", c.SuspectConfirmations)
+	case c.TailShufflePerReduceMB < 0:
+		return fmt.Errorf("core: TailShufflePerReduceMB = %v, must be >= 0", c.TailShufflePerReduceMB)
+	}
+	return nil
+}
+
+// Decision records one slot-manager action, for tracing and tests.
+type Decision struct {
+	At           float64
+	MapTarget    int
+	ReduceTarget int
+	Factor       float64 // balance factor f at decision time (may be +Inf or NaN)
+	Reason       string
+}
+
+// String renders the decision the way the CLIs and examples print it.
+func (d Decision) String() string {
+	f := "-"
+	switch {
+	case math.IsInf(d.Factor, 1):
+		f = "+Inf"
+	case !math.IsNaN(d.Factor):
+		f = fmt.Sprintf("%.2f", d.Factor)
+	}
+	return fmt.Sprintf("[%8.1f] maps=%d reduces=%d f=%s  %s",
+		d.At, d.MapTarget, d.ReduceTarget, f, d.Reason)
+}
+
+// SlotManager implements mr.Controller.
+type SlotManager struct {
+	cfg SlotManagerConfig
+
+	// Cluster bounds, learned from the cluster config on first tick.
+	initMaps, initReduces int
+	maxMaps, maxReduces   int
+
+	mapTarget    int
+	reduceTarget int
+
+	headJob      int
+	headProfile  string
+	lastChangeAt float64
+	lastDir      int // +1 grew, -1 shrank, 0 steady
+
+	// Stable aggregate map processing rate (EWMA) observed at each map
+	// slot count, for thrashing detection: the aggregate rate rises
+	// with the slot count until the thrashing point, then falls.
+	ratesBySlots map[int]*stats.EWMA
+	suspects     int
+	ceiling      int // max map slots allowed after confirmed thrashing (0 = none)
+	inTail       bool
+
+	// Sliding window of cumulative counters for rate computation.
+	samples []rateSample
+
+	// lastWindow caches the most recent windowed rates for debugging.
+	lastWindow struct{ inRate, outRate, shufRate float64 }
+
+	decisions []Decision
+}
+
+// rateSample is one tick's cumulative counter snapshot.
+type rateSample struct {
+	t, inMB, outMB, shufMB float64
+}
+
+// windowRates differences the cumulative counters over the configured
+// window. Returns zeros until two samples exist.
+func (m *SlotManager) windowRates(s mr.Stats) (inRate, outRate, shufRate float64) {
+	m.samples = append(m.samples, rateSample{
+		t: s.Now, inMB: s.MapInputProcessedMB, outMB: s.MapOutputProducedMB, shufMB: s.ShuffleMovedMB,
+	})
+	// Drop samples older than the window, always keeping one that
+	// spans it so the window length stays close to RateWindow.
+	cut := s.Now - m.cfg.RateWindow
+	for len(m.samples) > 2 && m.samples[1].t <= cut {
+		m.samples = m.samples[1:]
+	}
+	old := m.samples[0]
+	dt := s.Now - old.t
+	if dt <= 0 {
+		return 0, 0, 0
+	}
+	inRate = (s.MapInputProcessedMB - old.inMB) / dt
+	outRate = (s.MapOutputProducedMB - old.outMB) / dt
+	shufRate = (s.ShuffleMovedMB - old.shufMB) / dt
+	m.lastWindow.inRate, m.lastWindow.outRate, m.lastWindow.shufRate = inRate, outRate, shufRate
+	return inRate, outRate, shufRate
+}
+
+// NewSlotManager builds a manager; zero-valued cfg fields take paper
+// defaults, and an invalid cfg returns an error.
+func NewSlotManager(cfg SlotManagerConfig) (*SlotManager, error) {
+	d := DefaultSlotManagerConfig()
+	if cfg.Interval == 0 {
+		cfg.Interval = d.Interval
+	}
+	if cfg.SlowStartFraction == 0 {
+		cfg.SlowStartFraction = d.SlowStartFraction
+	}
+	if cfg.LowerBound == 0 {
+		cfg.LowerBound = d.LowerBound
+	}
+	if cfg.UpperBound == 0 {
+		cfg.UpperBound = d.UpperBound
+	}
+	if cfg.StabilizeDelay == 0 {
+		cfg.StabilizeDelay = d.StabilizeDelay
+	}
+	if cfg.RateWindow == 0 {
+		cfg.RateWindow = d.RateWindow
+	}
+	if cfg.SuspectConfirmations == 0 {
+		cfg.SuspectConfirmations = d.SuspectConfirmations
+	}
+	if cfg.TailShufflePerReduceMB == 0 {
+		cfg.TailShufflePerReduceMB = d.TailShufflePerReduceMB
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SlotManager{cfg: cfg, headJob: -1, ratesBySlots: make(map[int]*stats.EWMA)}, nil
+}
+
+// MustNewSlotManager is NewSlotManager for static setup.
+func MustNewSlotManager(cfg SlotManagerConfig) *SlotManager {
+	m, err := NewSlotManager(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Interval implements mr.Controller.
+func (m *SlotManager) Interval() float64 { return m.cfg.Interval }
+
+// Decisions returns the decision log (for traces, tests and examples).
+func (m *SlotManager) Decisions() []Decision { return m.decisions }
+
+// MapTarget returns the current cluster-wide map slot target.
+func (m *SlotManager) MapTarget() int { return m.mapTarget }
+
+// ReduceTarget returns the current cluster-wide reduce slot target.
+func (m *SlotManager) ReduceTarget() int { return m.reduceTarget }
+
+// Tick implements mr.Controller: one decision period.
+func (m *SlotManager) Tick(c *mr.Cluster) {
+	m.tick(c, c.Snapshot())
+}
+
+// tick is the decision core, separated from the snapshot so tests can
+// drive it with synthetic statistics.
+func (m *SlotManager) tick(c *mr.Cluster, s mr.Stats) {
+	cfg := c.Config()
+	if m.mapTarget == 0 {
+		m.initMaps, m.initReduces = cfg.MapSlots, cfg.ReduceSlots
+		m.maxMaps, m.maxReduces = cfg.MaxMapSlots, cfg.MaxReduceSlots
+		m.mapTarget, m.reduceTarget = m.initMaps, m.initReduces
+	}
+
+	if s.HeadJobID < 0 {
+		return // nothing queued
+	}
+	// Per-workload learning follows the job whose maps are running (the
+	// front-stretch job), not the FIFO head: with queued jobs the head
+	// can be deep in its reduce tail while the next job's maps define
+	// the thrashing landscape. Learning (rate history, thrashing
+	// ceiling) persists across same-profile jobs — the landscape they
+	// define is the same — and resets when the workload changes.
+	if s.FrontJobID >= 0 && s.FrontJobID != m.headJob {
+		m.headJob = s.FrontJobID
+		if s.FrontJobName != m.headProfile {
+			m.resetForJob(s.FrontJobName, s.Now)
+		}
+	}
+
+	// Always fold the counters into the sliding window so rates are
+	// ready the moment the slow-start gate opens.
+	inRate, outRate, _ := m.windowRates(s)
+
+	// Slow start (§IV-A1): wait until enough maps have reported.
+	if !m.cfg.DisableSlowStart && s.TotalMaps > 0 &&
+		float64(s.DoneMaps) < m.cfg.SlowStartFraction*float64(s.TotalMaps) {
+		return
+	}
+
+	// Tail stretch (§III-B3): no pending maps — convert slots.
+	if s.PendingMaps == 0 {
+		m.tailStretch(c, s)
+		return
+	}
+	m.inTail = false
+
+	// Front stretch: record rates, detect thrashing, balance.
+	stable := s.Now-m.lastChangeAt >= m.cfg.StabilizeDelay
+	if stable && s.RunningMaps > 0 && inRate > 0 {
+		e, ok := m.ratesBySlots[m.mapTarget]
+		if !ok {
+			e = stats.NewEWMA(0.4)
+			m.ratesBySlots[m.mapTarget] = e
+		}
+		e.Observe(inRate)
+
+		if debugRecord != nil {
+			prevV := -1.0
+			if prev, ok := m.ratesBySlots[m.mapTarget-1]; ok {
+				prevV = prev.Value()
+			}
+			debugRecord(s.Now, m.mapTarget, e.Value(), prevV, m.lastDir)
+		}
+		// Thrashing check: the aggregate map rate at the current slot
+		// count is compared against the recorded rate one count lower.
+		// This runs continuously, not only right after an increase —
+		// with concurrent jobs the background load changes and a slot
+		// count that was fine for one front stretch can be deep in
+		// thrashing territory for the next.
+		if !m.cfg.DisableThrashDetection && m.mapTarget > 1 {
+			if prev, ok := m.ratesBySlots[m.mapTarget-1]; ok && prev.Count() > 0 && e.Count() > 0 {
+				if e.Value() < prev.Value() {
+					m.suspects++
+					if m.suspects >= m.cfg.SuspectConfirmations {
+						m.confirmThrashing(c, s)
+						return
+					}
+				} else {
+					m.suspects = 0
+				}
+			}
+		}
+	}
+
+	if debugTick != nil {
+		debugTick(m, s)
+	}
+	f := m.balanceFactorFrom(s, outRate)
+	switch {
+	case f > m.cfg.UpperBound:
+		// Map-heavy: shuffle has headroom, push the maps — unless a
+		// confirmed thrashing ceiling or the configured max stops us.
+		if !stable {
+			return
+		}
+		// Saturation guard: when the measured shuffle rate already
+		// fills the achievable pipeline, faster maps only deepen the
+		// backlog (this arises with queued jobs whose reducers hold all
+		// reduce slots: the front job's own n is 0, inflating f).
+		if s.PotentialShuffleMBps > 0 && s.ShuffleMBps >= 0.85*s.PotentialShuffleMBps {
+			return
+		}
+		if !m.cfg.DisableThrashDetection && m.suspects > 0 {
+			// Suspected thrashing: the paper gives the system "another
+			// chance" rather than growing further (§IV-A2). A falling
+			// map rate also inflates f, so growing here would feed the
+			// very thrashing being investigated.
+			return
+		}
+		next := m.mapTarget + 1
+		if m.ceiling > 0 && next > m.ceiling {
+			return
+		}
+		if next > m.maxMaps {
+			return
+		}
+		m.setTargets(c, s, next, m.reduceTarget, f, "map-heavy: shuffle ahead of maps")
+	case f < m.cfg.LowerBound:
+		if !stable {
+			return
+		}
+		if m.mapTarget <= 1 {
+			return
+		}
+		m.setTargets(c, s, m.mapTarget-1, m.reduceTarget, f, "reduce-heavy: shuffle lagging")
+	default:
+		// Balanced State (or f is NaN — no signal): leave the slots alone.
+	}
+}
+
+// debugTick, when set by tests, observes every front-stretch tick.
+var debugTick func(*SlotManager, mr.Stats)
+
+// debugRecord observes every stable-rate recording (tests only).
+var debugRecord func(now float64, target int, cur, prev float64, lastDir int)
+
+// balanceFactorFrom computes f = Rs / Rm (§IV-A3) given the windowed
+// total map output rate Rt. Rm uses the front-stretch job's running
+// reduce count — with concurrent jobs, only that job's partitions are
+// being produced, so other jobs' tail reducers must not dilute the
+// ratio. Returns +Inf when no partition output rate exists yet
+// (trivially map-heavy).
+func (m *SlotManager) balanceFactorFrom(s mr.Stats, rt float64) float64 {
+	if rt <= 1e-9 {
+		// No map output measured yet: nothing to balance against.
+		return math.NaN()
+	}
+	if s.FrontTotalReduces == 0 {
+		// A job with no reducers is trivially map-heavy.
+		return math.Inf(1)
+	}
+	if s.FrontRunningReduces == 0 {
+		// The front job's reducers have not launched (earlier jobs may
+		// hold every reduce slot): there is no shuffle to balance yet,
+		// and neither growing nor shrinking is justified.
+		return math.NaN()
+	}
+	rm := float64(s.FrontRunningReduces) / float64(s.FrontTotalReduces) * rt
+	rs := s.PotentialShuffleMBps
+	if s.ShuffleMBps > rs {
+		rs = s.ShuffleMBps
+	}
+	return rs / rm
+}
+
+// confirmThrashing rolls back the last increase and pins the ceiling.
+func (m *SlotManager) confirmThrashing(c *mr.Cluster, s mr.Stats) {
+	m.ceiling = m.mapTarget - 1
+	if m.ceiling < 1 {
+		m.ceiling = 1
+	}
+	m.suspects = 0
+	m.setTargets(c, s, m.ceiling, m.reduceTarget, math.NaN(),
+		fmt.Sprintf("thrashing confirmed at %d map slots", m.ceiling+1))
+}
+
+// tailStretch releases map slots and, for small-shuffle jobs, boosts
+// reduce slots (§III-B3).
+func (m *SlotManager) tailStretch(c *mr.Cluster, s mr.Stats) {
+	// Keep enough map slots for the stragglers still running, at least 1.
+	perNode := (s.RunningMaps + c.Config().Workers - 1) / c.Config().Workers
+	if perNode < 1 {
+		perNode = 1
+	}
+	if perNode > m.mapTarget {
+		perNode = m.mapTarget // never grow maps in the tail
+	}
+	reduces := m.reduceTarget
+	reason := "tail: releasing map slots"
+	if !m.cfg.DisableTailBoost && s.ShufflePerReduceMB > 0 && s.ShufflePerReduceMB < m.cfg.TailShufflePerReduceMB {
+		reduces = m.maxReduces
+		reason = "tail: small shuffle, boosting reduce slots"
+	}
+	if perNode == m.mapTarget && reduces == m.reduceTarget {
+		return
+	}
+	m.inTail = true
+	m.setTargets(c, s, perNode, reduces, math.NaN(), reason)
+}
+
+// setTargets pushes new uniform targets to every tracker and logs the
+// decision.
+func (m *SlotManager) setTargets(c *mr.Cluster, s mr.Stats, maps, reduces int, f float64, reason string) {
+	m.lastDir = 0
+	if maps > m.mapTarget {
+		m.lastDir = 1
+	} else if maps < m.mapTarget {
+		m.lastDir = -1
+	}
+	m.mapTarget, m.reduceTarget = maps, reduces
+	m.lastChangeAt = s.Now
+	jt := c.JobTracker()
+	for _, tt := range c.Trackers() {
+		tm, tr := maps, reduces
+		if m.cfg.PerNodeScaling {
+			tm, tr = m.scaleForNode(c, tt.ID(), maps, reduces)
+		}
+		jt.SetDesiredSlots(tt.ID(), tm, tr)
+	}
+	m.decisions = append(m.decisions, Decision{
+		At: s.Now, MapTarget: maps, ReduceTarget: reduces, Factor: f, Reason: reason,
+	})
+}
+
+// scaleForNode adjusts uniform targets by the node's compute capacity
+// relative to the cluster mean, rounding half-up and never below 1.
+func (m *SlotManager) scaleForNode(c *mr.Cluster, node, maps, reduces int) (int, int) {
+	capacity := func(i int) float64 {
+		spec := c.NodeSpecOf(i)
+		return float64(spec.Cores) * spec.CoreSpeed
+	}
+	mean := 0.0
+	n := len(c.Trackers())
+	for i := 0; i < n; i++ {
+		mean += capacity(i)
+	}
+	mean /= float64(n)
+	factor := capacity(node) / mean
+	scale := func(v int) int {
+		s := int(float64(v)*factor + 0.5)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	return scale(maps), scale(reduces)
+}
+
+// resetForJob clears per-workload learning when the front job's
+// profile changes. Slot targets persist — the next job starts from
+// wherever the previous one left the cluster, then adapts.
+func (m *SlotManager) resetForJob(profile string, now float64) {
+	m.headProfile = profile
+	m.ratesBySlots = make(map[int]*stats.EWMA)
+	m.suspects = 0
+	m.ceiling = 0
+	m.lastDir = 0
+	m.inTail = false
+	// A fresh job has seen no slot change, so the stabilize delay does
+	// not apply: the manager may act on its first informed tick. The
+	// slow-start gate is what protects the early decisions (§IV-A1).
+	m.lastChangeAt = now - m.cfg.StabilizeDelay
+	m.samples = nil
+}

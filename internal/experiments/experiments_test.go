@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smapreduce/internal/core"
+)
+
+// testCfg runs the paper-scale configuration: the slot manager needs
+// jobs long enough to adapt, so the qualitative shapes the assertions
+// check only exist at full scale. Each figure test runs in parallel and
+// the whole file finishes in well under a minute.
+func testCfg() Config {
+	return Default()
+}
+
+// shape marks a full-scale figure test: parallel, skipped under -short.
+func shape(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-scale figure reproduction skipped in -short mode")
+	}
+	t.Parallel()
+}
+
+func TestDefaultNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	d := Default()
+	d.Trials = 1 // normalize fills the trial count too
+	if c != d {
+		t.Fatalf("normalize() = %+v, want %+v", c, d)
+	}
+	custom := Config{Scale: 0.5}.normalize()
+	if custom.Scale != 0.5 || custom.Workers != d.Workers {
+		t.Fatalf("partial normalize wrong: %+v", custom)
+	}
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	shape(t)
+	r, err := Figure1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3*10 {
+		t.Fatalf("points = %d, want 30", len(r.Points))
+	}
+	// Every curve rises from 1 slot to its peak and falls after it.
+	for _, bench := range []string{"terasort", "term-vector", "grep"} {
+		peak := r.Peak(bench)
+		if peak <= 1 || peak >= 10 {
+			t.Fatalf("%s peak = %d, want interior peak", bench, peak)
+		}
+		at := func(slots int) float64 {
+			for _, p := range r.Points {
+				if p.Benchmark == bench && p.MapSlots == slots {
+					return p.ThroughputMBs
+				}
+			}
+			return -1
+		}
+		if at(1) >= at(peak) {
+			t.Errorf("%s: no rise before peak (%v vs %v)", bench, at(1), at(peak))
+		}
+		if at(10) >= at(peak) {
+			t.Errorf("%s: no fall after peak (%v vs %v)", bench, at(10), at(peak))
+		}
+	}
+	// §II-B: map-heavy jobs thrash later than reduce-heavy ones.
+	if r.Peak("grep") <= r.Peak("terasort") {
+		t.Errorf("grep peak %d not above terasort peak %d", r.Peak("grep"), r.Peak("terasort"))
+	}
+	if !strings.Contains(r.Table().String(), "Figure 1") {
+		t.Error("table missing title")
+	}
+}
+
+func TestFigure3Shapes(t *testing.T) {
+	shape(t)
+	r, err := Figure3(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(Fig3Benchmarks)*3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// SMapReduce beats both baselines on the map-heavy benchmarks.
+	for _, bench := range []string{"histogram-movies", "histogram-ratings", "grep"} {
+		if s := r.SpeedupOver(bench, core.EngineHadoopV1); s < 0.10 {
+			t.Errorf("%s vs HadoopV1 speedup %.2f, want > 0.10", bench, s)
+		}
+		if s := r.SpeedupOver(bench, core.EngineYARN); s < 0.05 {
+			t.Errorf("%s vs YARN speedup %.2f, want > 0.05", bench, s)
+		}
+	}
+	// Terasort is the exception: within ±10% of HadoopV1 (paper: slight
+	// regression, negligible overhead).
+	if s := r.SpeedupOver("terasort", core.EngineHadoopV1); math.Abs(s) > 0.10 {
+		t.Errorf("terasort speedup %.2f, want ≈0", s)
+	}
+	// Map-heavy gains exceed reduce-heavy gains (paper §V-A).
+	if r.SpeedupOver("grep", core.EngineHadoopV1) <= r.SpeedupOver("terasort", core.EngineHadoopV1) {
+		t.Error("map-heavy gain not above reduce-heavy gain")
+	}
+	// Sanity on every row.
+	for _, row := range r.Rows {
+		if row.MapTime <= 0 || row.ExecTime <= 0 || row.ExecTime < row.MapTime {
+			t.Errorf("implausible row %+v", row)
+		}
+	}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	shape(t)
+	r, err := Figure4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []string{"HadoopV1", "YARN", "SMapReduce"} {
+		pts := r.Curves[eng]
+		if len(pts) == 0 {
+			t.Fatalf("no curve for %s", eng)
+		}
+		if pts[len(pts)-1].V != 200 {
+			t.Errorf("%s final progress %v, want 200", eng, pts[len(pts)-1].V)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].V < pts[i-1].V-1e-6 {
+				t.Errorf("%s progress regressed at %d", eng, i)
+			}
+		}
+	}
+	// SMapReduce crosses the barrier (100%) first.
+	if r.CrossingTime("SMapReduce", 100) >= r.CrossingTime("HadoopV1", 100) {
+		t.Error("SMapReduce did not reach the barrier before HadoopV1")
+	}
+	if r.Table().String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	shape(t)
+	r, err := Figure5(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SMapReduce rescues badly misconfigured clusters: at 1 map slot
+	// its map time is far below both baselines.
+	if r.Get(1, core.EngineSMapReduce) >= 0.6*r.Get(1, core.EngineHadoopV1) {
+		t.Errorf("SMR at 1 slot (%v) not well below V1 (%v)",
+			r.Get(1, core.EngineSMapReduce), r.Get(1, core.EngineHadoopV1))
+	}
+	// Baselines improve as the static config approaches their optimum.
+	if r.Get(1, core.EngineHadoopV1) <= r.Get(6, core.EngineHadoopV1) {
+		t.Error("HadoopV1 map time did not improve with more slots")
+	}
+	// SMapReduce stays within a modest factor of the baselines' best.
+	bestV1 := math.Inf(1)
+	worstSMR := 0.0
+	for slots := 1; slots <= 8; slots++ {
+		if v := r.Get(slots, core.EngineHadoopV1); v < bestV1 {
+			bestV1 = v
+		}
+		if v := r.Get(slots, core.EngineSMapReduce); v > worstSMR {
+			worstSMR = v
+		}
+	}
+	for slots := 5; slots <= 8; slots++ {
+		if v := r.Get(slots, core.EngineSMapReduce); v > 1.35*bestV1 {
+			t.Errorf("SMR at %d slots (%v) too far from V1 optimum (%v)", slots, v, bestV1)
+		}
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	shape(t)
+	r, err := Figure6(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advantage over HadoopV1 grows with input size.
+	first := r.Get(50, core.EngineSMapReduce) / r.Get(50, core.EngineHadoopV1)
+	last := r.Get(250, core.EngineSMapReduce) / r.Get(250, core.EngineHadoopV1)
+	if last <= first {
+		t.Errorf("SMR/V1 ratio did not grow: %.2f → %.2f", first, last)
+	}
+	if last < 1.3 {
+		t.Errorf("SMR/V1 at largest input %.2f, want > 1.3", last)
+	}
+	// SMapReduce throughput itself grows with input size (paper: more
+	// time to adapt); HadoopV1 stays roughly flat.
+	if r.Get(250, core.EngineSMapReduce) <= r.Get(50, core.EngineSMapReduce) {
+		t.Error("SMR throughput did not grow with input")
+	}
+	v1Spread := r.Get(250, core.EngineHadoopV1) / r.Get(50, core.EngineHadoopV1)
+	if v1Spread > 1.25 || v1Spread < 0.75 {
+		t.Errorf("HadoopV1 throughput not flat: spread %.2f", v1Spread)
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	shape(t)
+	r, err := Figure7(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range Fig7Benchmarks {
+		full := r.Get(bench, VariantFull)
+		noDet := r.Get(bench, VariantNoThrashDet)
+		v1 := r.Get(bench, VariantHadoopV1)
+		yarn := r.Get(bench, VariantYARN)
+		if full <= 0 || noDet <= 0 || v1 <= 0 || yarn <= 0 {
+			t.Fatalf("%s: missing arms", bench)
+		}
+		// The paper's headline: without detection, map time is much
+		// longer than both baselines.
+		if noDet <= v1 || noDet <= yarn {
+			t.Errorf("%s: no-detection (%v) not worse than baselines (%v/%v)", bench, noDet, v1, yarn)
+		}
+		// Full SMapReduce beats both baselines.
+		if full >= v1 || full >= yarn {
+			t.Errorf("%s: full SMR (%v) not better than baselines (%v/%v)", bench, full, v1, yarn)
+		}
+		if r.Get(bench, VariantNoSlowStart) <= 0 {
+			t.Errorf("%s: missing no-slow-start arm", bench)
+		}
+	}
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	shape(t)
+	r, err := Figure8(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smr, _ := r.Get(core.EngineSMapReduce)
+	v1, _ := r.Get(core.EngineHadoopV1)
+	yarn, _ := r.Get(core.EngineYARN)
+	// Grep multi-job: SMapReduce clearly ahead on both metrics.
+	if smr.MeanExec >= 0.9*v1.MeanExec {
+		t.Errorf("SMR mean %v not well below V1 %v", smr.MeanExec, v1.MeanExec)
+	}
+	if smr.LastFinish >= 0.9*v1.LastFinish {
+		t.Errorf("SMR last %v not well below V1 %v", smr.LastFinish, v1.LastFinish)
+	}
+	if smr.MeanExec >= yarn.MeanExec {
+		t.Errorf("SMR mean %v not below YARN %v", smr.MeanExec, yarn.MeanExec)
+	}
+	if v1.LastFinish < v1.MeanExec || smr.LastFinish < smr.MeanExec {
+		t.Error("last finish before mean exec")
+	}
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	shape(t)
+	r, err := Figure9(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smr, _ := r.Get(core.EngineSMapReduce)
+	v1, _ := r.Get(core.EngineHadoopV1)
+	// InvertedIndex multi-job is shuffle-bound in our substrate: we
+	// assert SMapReduce stays within 10% of HadoopV1 (the paper reports
+	// a win here; see EXPERIMENTS.md for the documented deviation).
+	if smr.MeanExec > 1.10*v1.MeanExec {
+		t.Errorf("SMR mean %v more than 10%% worse than V1 %v", smr.MeanExec, v1.MeanExec)
+	}
+	if smr.LastFinish > 1.10*v1.LastFinish {
+		t.Errorf("SMR last %v more than 10%% worse than V1 %v", smr.LastFinish, v1.LastFinish)
+	}
+	if r.Benchmark != "inverted-index" {
+		t.Errorf("benchmark = %s", r.Benchmark)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	cfg := Config{Scale: 0.1, Workers: 8, Reduces: 8, Seed: 2}
+	f8, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f8.Table().String()
+	for _, want := range []string{"grep", "HadoopV1", "YARN", "SMapReduce"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrialsAveraging(t *testing.T) {
+	shape(t)
+	small := Config{Scale: 0.2, Workers: 8, Reduces: 8, Seed: 3}
+	one, err := Figure8(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := small
+	two.Trials = 2
+	avg, err := Figure8(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := one.Get(core.EngineHadoopV1)
+	r2, _ := avg.Get(core.EngineHadoopV1)
+	if r2.MeanExec <= 0 {
+		t.Fatal("averaged mean missing")
+	}
+	// Averaging over two seeds must produce a value close to, but not
+	// identical with, a single trial (different seeds shift jitter).
+	if r1.MeanExec == r2.MeanExec {
+		t.Fatal("averaging had no effect")
+	}
+	if r2.MeanExec < 0.7*r1.MeanExec || r2.MeanExec > 1.3*r1.MeanExec {
+		t.Fatalf("averaged value implausible: %v vs %v", r2.MeanExec, r1.MeanExec)
+	}
+}
+
+func TestTrialsAveragingFig6(t *testing.T) {
+	shape(t)
+	small := Config{Scale: 0.1, Workers: 8, Reduces: 8, Seed: 3, Trials: 2}
+	r, err := Figure6(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gb := range []float64{50, 250} {
+		if r.Get(gb, core.EngineHadoopV1) <= 0 {
+			t.Fatalf("missing averaged value at %v GB", gb)
+		}
+	}
+}

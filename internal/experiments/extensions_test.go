@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"smapreduce/internal/core"
+)
+
+func TestOversubscription(t *testing.T) {
+	shape(t)
+	r, err := Oversubscription(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, engine := range []core.Engine{core.EngineHadoopV1, core.EngineSMapReduce} {
+		nb := r.Get("non-blocking", engine)
+		two := r.Get("2:1", engine)
+		four := r.Get("4:1", engine)
+		if nb <= 0 || two <= 0 || four <= 0 {
+			t.Fatalf("%v missing fabric arms", engine)
+		}
+		// Terasort's cross-rack shuffle must slow down monotonically as
+		// the uplink shrinks.
+		if !(nb <= two+1e-9 && two <= four+1e-9) {
+			t.Errorf("%v not monotone under oversubscription: %v / %v / %v", engine, nb, two, four)
+		}
+		if four <= nb {
+			t.Errorf("%v: 4:1 fabric (%v) not slower than non-blocking (%v)", engine, four, nb)
+		}
+	}
+	// SMapReduce never loses to V1 by a meaningful margin on any fabric.
+	for _, ratio := range []string{"non-blocking", "2:1", "4:1"} {
+		if smr, v1 := r.Get(ratio, core.EngineSMapReduce), r.Get(ratio, core.EngineHadoopV1); smr > 1.1*v1 {
+			t.Errorf("SMR (%v) lost to V1 (%v) on %s fabric", smr, v1, ratio)
+		}
+	}
+}
+
+func TestOracleGap(t *testing.T) {
+	shape(t)
+	r, err := OracleGap(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := r.Get("HadoopV1 default (3 slots)")
+	oracle := r.SweepTimes[r.BestSlots]
+	smr := r.Get("SMapReduce (starts at 3)")
+	if def <= 0 || oracle <= 0 || smr <= 0 {
+		t.Fatal("missing arms")
+	}
+	// The oracle is the sweep's minimum by construction.
+	for slots, exec := range r.SweepTimes {
+		if exec < oracle-1e-9 {
+			t.Fatalf("sweep[%d]=%v below recorded oracle %v", slots, exec, oracle)
+		}
+	}
+	// The interesting claims: SMapReduce beats the default static
+	// config decisively and lands within 50% of the oracle despite
+	// starting misconfigured and paying its learning curve.
+	if smr >= def {
+		t.Errorf("SMR (%v) did not beat the default static config (%v)", smr, def)
+	}
+	if smr > 1.5*oracle {
+		t.Errorf("SMR (%v) too far from the oracle (%v)", smr, oracle)
+	}
+	if r.BestSlots <= 3 {
+		t.Errorf("oracle slots = %d; expected the map-heavy optimum above the default 3", r.BestSlots)
+	}
+}

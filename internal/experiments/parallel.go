@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers.
+// Each simulation owns its cluster, clock and RNG, so independent runs
+// parallelise perfectly; results must be written to pre-sized slices
+// indexed by i, keeping output order deterministic regardless of
+// scheduling. The first error wins.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,238 @@
+package localmr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the remaining PUMA text benchmarks as real jobs
+// for the local engine, plus Chain for the multi-stage patterns some of
+// them need (ranked inverted index is PUMA's canonical two-stage job).
+
+// TermVector builds the PUMA term-vector job: for each document, the
+// terms whose frequency is at least minCount, ordered by descending
+// frequency (ties by term).
+func TermVector(docs map[string]string, minCount int) Job {
+	return Job{
+		Name:  "term-vector",
+		Input: DocsInput(docs),
+		Map: func(doc, body string, emit func(k, v string)) {
+			counts := make(map[string]int)
+			for _, w := range Tokenize(body) {
+				counts[w]++
+			}
+			for w, n := range counts {
+				if n >= minCount {
+					emit(doc, fmt.Sprintf("%s:%d", w, n))
+				}
+			}
+		},
+		Reduce: func(doc string, pairs []string, emit func(k, v string)) {
+			type tf struct {
+				term  string
+				count int
+			}
+			var vec []tf
+			for _, p := range pairs {
+				i := strings.LastIndexByte(p, ':')
+				if i < 0 {
+					continue
+				}
+				n, err := strconv.Atoi(p[i+1:])
+				if err != nil {
+					continue
+				}
+				vec = append(vec, tf{term: p[:i], count: n})
+			}
+			sort.Slice(vec, func(a, b int) bool {
+				if vec[a].count != vec[b].count {
+					return vec[a].count > vec[b].count
+				}
+				return vec[a].term < vec[b].term
+			})
+			parts := make([]string, len(vec))
+			for i, t := range vec {
+				parts[i] = fmt.Sprintf("%s:%d", t.term, t.count)
+			}
+			emit(doc, strings.Join(parts, " "))
+		},
+	}
+}
+
+// SequenceCount counts distinct word trigrams per document corpus —
+// PUMA's sequence-count.
+func SequenceCount(docs map[string]string) Job {
+	return Job{
+		Name:  "sequence-count",
+		Input: DocsInput(docs),
+		Map: func(_, body string, emit func(k, v string)) {
+			words := Tokenize(body)
+			for i := 0; i+2 < len(words); i++ {
+				emit(words[i]+" "+words[i+1]+" "+words[i+2], "1")
+			}
+		},
+		Combine: sumReducer,
+		Reduce:  sumReducer,
+	}
+}
+
+// SelfJoin reproduces PUMA's self-join: inputs are sorted k-element
+// candidate lines ("a,b,c"); the job emits every (k+1)-element
+// candidate supported by two k-candidates sharing a (k−1)-prefix.
+func SelfJoin(candidates []string) Job {
+	input := make([]KV, 0, len(candidates))
+	for i, c := range candidates {
+		input = append(input, KV{Key: strconv.Itoa(i), Value: c})
+	}
+	return Job{
+		Name:  "self-join",
+		Input: input,
+		Map: func(_, line string, emit func(k, v string)) {
+			elems := strings.Split(line, ",")
+			if len(elems) < 2 {
+				return
+			}
+			prefix := strings.Join(elems[:len(elems)-1], ",")
+			emit(prefix, elems[len(elems)-1])
+		},
+		Reduce: func(prefix string, lasts []string, emit func(k, v string)) {
+			uniq := make(map[string]bool)
+			var tails []string
+			for _, l := range lasts {
+				if !uniq[l] {
+					uniq[l] = true
+					tails = append(tails, l)
+				}
+			}
+			sort.Strings(tails)
+			for i := 0; i < len(tails); i++ {
+				for k := i + 1; k < len(tails); k++ {
+					emit(prefix+","+tails[i], tails[k])
+				}
+			}
+		},
+	}
+}
+
+// AdjacencyList turns directed edges ("src dst" lines) into each
+// vertex's sorted, de-duplicated out-neighbour list — PUMA's
+// adjacency-list.
+func AdjacencyList(edges string) Job {
+	return Job{
+		Name:  "adjacency-list",
+		Input: LinesInput(edges),
+		Map: func(_, line string, emit func(k, v string)) {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return
+			}
+			emit(fields[0], fields[1])
+		},
+		Reduce: func(src string, dsts []string, emit func(k, v string)) {
+			uniq := make(map[string]bool)
+			var out []string
+			for _, d := range dsts {
+				if !uniq[d] {
+					uniq[d] = true
+					out = append(out, d)
+				}
+			}
+			sort.Strings(out)
+			emit(src, strings.Join(out, ","))
+		},
+	}
+}
+
+// RankedInvertedIndexStage2 is the second stage of PUMA's
+// ranked-inverted-index: it takes "word@doc → count" pairs (stage one
+// is a per-document word count) and produces, per word, the documents
+// ranked by descending count.
+func RankedInvertedIndexStage2(counts []KV) Job {
+	return Job{
+		Name:  "ranked-inverted-index",
+		Input: counts,
+		Map: func(wordAtDoc, count string, emit func(k, v string)) {
+			i := strings.LastIndexByte(wordAtDoc, '@')
+			if i < 0 {
+				return
+			}
+			emit(wordAtDoc[:i], count+"@"+wordAtDoc[i+1:])
+		},
+		Reduce: func(word string, postings []string, emit func(k, v string)) {
+			type post struct {
+				count int
+				doc   string
+			}
+			var ps []post
+			for _, p := range postings {
+				i := strings.IndexByte(p, '@')
+				if i < 0 {
+					continue
+				}
+				n, err := strconv.Atoi(p[:i])
+				if err != nil {
+					continue
+				}
+				ps = append(ps, post{count: n, doc: p[i+1:]})
+			}
+			sort.Slice(ps, func(a, b int) bool {
+				if ps[a].count != ps[b].count {
+					return ps[a].count > ps[b].count
+				}
+				return ps[a].doc < ps[b].doc
+			})
+			parts := make([]string, len(ps))
+			for i, p := range ps {
+				parts[i] = fmt.Sprintf("%s:%d", p.doc, p.count)
+			}
+			emit(word, strings.Join(parts, " "))
+		},
+	}
+}
+
+// PerDocWordCount is stage one of the ranked inverted index: counts of
+// every (word, doc) pair, keyed "word@doc".
+func PerDocWordCount(docs map[string]string) Job {
+	return Job{
+		Name:  "per-doc-wordcount",
+		Input: DocsInput(docs),
+		Map: func(doc, body string, emit func(k, v string)) {
+			for _, w := range Tokenize(body) {
+				emit(w+"@"+doc, "1")
+			}
+		},
+		Combine: sumReducer,
+		Reduce:  sumReducer,
+	}
+}
+
+// Chain runs jobs in sequence, feeding each stage's output pairs to the
+// next stage builder — the standard pattern for multi-stage MapReduce
+// programs. The builder receives the previous stage's sorted output.
+func Chain(cfg Config, first Job, next ...func(prev []KV) Job) (*Result, error) {
+	res, err := Run(cfg, first)
+	if err != nil {
+		return nil, fmt.Errorf("localmr: stage 1 (%s): %w", first.Name, err)
+	}
+	for i, build := range next {
+		job := build(res.Pairs)
+		stage, err := Run(cfg, job)
+		if err != nil {
+			return nil, fmt.Errorf("localmr: stage %d (%s): %w", i+2, job.Name, err)
+		}
+		// Accumulate stats across stages so callers see total work.
+		stage.Stats.MapTasks += res.Stats.MapTasks
+		stage.Stats.ReduceTasks += res.Stats.ReduceTasks
+		stage.Stats.Intermediate += res.Stats.Intermediate
+		stage.Stats.PoolDecisions = append(res.Stats.PoolDecisions, stage.Stats.PoolDecisions...)
+		res = stage
+	}
+	return res, nil
+}
+
+// RankedInvertedIndex is the full two-stage PUMA job over a corpus.
+func RankedInvertedIndex(cfg Config, docs map[string]string) (*Result, error) {
+	return Chain(cfg, PerDocWordCount(docs), RankedInvertedIndexStage2)
+}

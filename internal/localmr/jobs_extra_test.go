@@ -1,0 +1,271 @@
+package localmr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTermVector(t *testing.T) {
+	docs := map[string]string{
+		"d1": "apple apple apple banana banana cherry",
+		"d2": "kiwi",
+	}
+	res := mustRun(t, staticConfig(), TermVector(docs, 2))
+	got := pairsToMap(t, res.Pairs)
+	if got["d1"] != "apple:3 banana:2" {
+		t.Fatalf("d1 vector = %q, want \"apple:3 banana:2\"", got["d1"])
+	}
+	if _, ok := got["d2"]; ok {
+		t.Fatal("d2 emitted despite no term reaching minCount")
+	}
+}
+
+func TestTermVectorTieOrder(t *testing.T) {
+	docs := map[string]string{"d": "zz zz aa aa"}
+	res := mustRun(t, staticConfig(), TermVector(docs, 1))
+	got := pairsToMap(t, res.Pairs)
+	if got["d"] != "aa:2 zz:2" {
+		t.Fatalf("tie order = %q, want alphabetical among equals", got["d"])
+	}
+}
+
+func TestSequenceCount(t *testing.T) {
+	docs := map[string]string{"d": "a b c a b c a"}
+	// Trigrams: abc bca cab abc bca → "a b c":2, "b c a":2, "c a b":1.
+	res := mustRun(t, staticConfig(), SequenceCount(docs))
+	got := pairsToMap(t, res.Pairs)
+	if got["a b c"] != "2" || got["b c a"] != "2" || got["c a b"] != "1" {
+		t.Fatalf("trigram counts wrong: %v", got)
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	// Candidates sharing prefix "a,b": tails c, d, e → pairs (c,d),
+	// (c,e), (d,e) as "a,b,c"→d etc.
+	cands := []string{"a,b,c", "a,b,d", "a,b,e", "x,y,z"}
+	res := mustRun(t, staticConfig(), SelfJoin(cands))
+	want := map[string][]string{
+		"a,b,c": {"d", "e"},
+		"a,b,d": {"e"},
+	}
+	byKey := make(map[string][]string)
+	for _, kv := range res.Pairs {
+		byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+	}
+	for k, vs := range want {
+		if len(byKey[k]) != len(vs) {
+			t.Fatalf("join[%s] = %v, want %v", k, byKey[k], vs)
+		}
+		for i := range vs {
+			if byKey[k][i] != vs[i] {
+				t.Fatalf("join[%s] = %v, want %v", k, byKey[k], vs)
+			}
+		}
+	}
+	if _, ok := byKey["x,y,z"]; ok {
+		t.Fatal("lone candidate produced a join")
+	}
+}
+
+func TestAdjacencyList(t *testing.T) {
+	edges := "1 2\n1 3\n2 3\n1 2\nmalformed-line"
+	res := mustRun(t, staticConfig(), AdjacencyList(edges))
+	got := pairsToMap(t, res.Pairs)
+	if got["1"] != "2,3" || got["2"] != "3" {
+		t.Fatalf("adjacency = %v", got)
+	}
+}
+
+func TestRankedInvertedIndexTwoStage(t *testing.T) {
+	docs := map[string]string{
+		"d1": "go go go rust",
+		"d2": "go rust rust",
+		"d3": "go",
+	}
+	res, err := RankedInvertedIndex(staticConfig(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairsToMap(t, res.Pairs)
+	if got["go"] != "d1:3 d3:1 d2:1" && got["go"] != "d1:3 d2:1 d3:1" {
+		// counts d1:3, d2:1, d3:1 — ties broken by doc name.
+		t.Fatalf("ranked index for go = %q", got["go"])
+	}
+	if !strings.HasPrefix(got["rust"], "d2:2") {
+		t.Fatalf("rust not led by d2:2: %q", got["rust"])
+	}
+	// Chain accumulates stats across both stages.
+	if res.Stats.MapTasks == 0 || res.Stats.ReduceTasks <= staticConfig().Partitions {
+		t.Fatalf("chained stats not accumulated: %+v", res.Stats)
+	}
+}
+
+func TestRankedTieBreak(t *testing.T) {
+	docs := map[string]string{"b-doc": "word", "a-doc": "word"}
+	res, err := RankedInvertedIndex(staticConfig(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairsToMap(t, res.Pairs)
+	if got["word"] != "a-doc:1 b-doc:1" {
+		t.Fatalf("tie order = %q", got["word"])
+	}
+}
+
+func TestChainErrorPropagates(t *testing.T) {
+	bad := Job{Name: "broken"} // no Map/Reduce
+	if _, err := Chain(staticConfig(), bad); err == nil {
+		t.Fatal("stage-1 error not propagated")
+	}
+	good := WordCount("a b c")
+	_, err := Chain(staticConfig(), good, func(prev []KV) Job {
+		return Job{Name: "broken-2"}
+	})
+	if err == nil || !strings.Contains(err.Error(), "stage 2") {
+		t.Fatalf("stage-2 error not propagated: %v", err)
+	}
+}
+
+func TestChainSingleStageEqualsRun(t *testing.T) {
+	direct := mustRun(t, staticConfig(), WordCount("x y x"))
+	chained, err := Chain(staticConfig(), WordCount("x y x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Pairs) != len(chained.Pairs) {
+		t.Fatal("single-stage chain differs from direct run")
+	}
+}
+
+func TestSecondarySort(t *testing.T) {
+	// Per-movie ratings delivered to the reducer in ascending rating
+	// order via a composite key "movie\x1Frating".
+	lines := []KV{
+		{"0", "m1\x1F5"}, {"1", "m1\x1F1"}, {"2", "m1\x1F3"},
+		{"3", "m2\x1F2"}, {"4", "m2\x1F4"},
+	}
+	job := Job{
+		Name:  "secondary",
+		Input: lines,
+		Map: func(_, v string, emit func(k, v string)) {
+			// v is already the composite key; carry the rating as value.
+			emit(v, v[strings.IndexByte(v, '\x1F')+1:])
+		},
+		GroupBy: func(key string) string {
+			return key[:strings.IndexByte(key, '\x1F')]
+		},
+		Reduce: func(movie string, ratings []string, emit func(k, v string)) {
+			emit(movie, strings.Join(ratings, ","))
+		},
+	}
+	res := mustRun(t, staticConfig(), job)
+	got := pairsToMap(t, res.Pairs)
+	if got["m1"] != "1,3,5" {
+		t.Fatalf("m1 ratings = %q, want sorted 1,3,5", got["m1"])
+	}
+	if got["m2"] != "2,4" {
+		t.Fatalf("m2 ratings = %q", got["m2"])
+	}
+}
+
+func TestSecondarySortGroupPartitioning(t *testing.T) {
+	// All composite keys of one group must land in one partition even
+	// with many partitions, or the group would be split.
+	var input []KV
+	for i := 0; i < 50; i++ {
+		input = append(input, KV{Key: strconv.Itoa(i), Value: "g\x1F" + strconv.Itoa(i)})
+	}
+	job := Job{
+		Name:  "partcheck",
+		Input: input,
+		Map: func(_, v string, emit func(k, v string)) {
+			emit(v, "1")
+		},
+		GroupBy: func(key string) string { return key[:strings.IndexByte(key, '\x1F')] },
+		Reduce: func(g string, vals []string, emit func(k, v string)) {
+			emit(g, strconv.Itoa(len(vals)))
+		},
+	}
+	cfg := staticConfig()
+	cfg.Partitions = 7
+	res := mustRun(t, cfg, job)
+	got := pairsToMap(t, res.Pairs)
+	if got["g"] != "50" {
+		t.Fatalf("group split across partitions: %v", got)
+	}
+}
+
+func TestTeraSortTotalOrder(t *testing.T) {
+	// Shuffled records; after TeraSort the concatenated partitions are
+	// globally sorted.
+	var records []KV
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%04d", (i*7919)%500) // deterministic shuffle
+		records = append(records, KV{Key: key, Value: fmt.Sprintf("payload-%d", i)})
+	}
+	cfg := staticConfig()
+	cfg.Partitions = 5
+	res := mustRun(t, cfg, TeraSort(records, cfg.Partitions, 3))
+	if len(res.ByPartition) != 5 {
+		t.Fatalf("partitions = %d", len(res.ByPartition))
+	}
+	var concat []KV
+	nonEmpty := 0
+	for _, part := range res.ByPartition {
+		if len(part) > 0 {
+			nonEmpty++
+		}
+		concat = append(concat, part...)
+	}
+	if len(concat) != 500 {
+		t.Fatalf("records out = %d", len(concat))
+	}
+	for i := 1; i < len(concat); i++ {
+		if concat[i].Key < concat[i-1].Key {
+			t.Fatalf("total order broken at %d: %q < %q", i, concat[i].Key, concat[i-1].Key)
+		}
+	}
+	// The sampler must actually spread the load: most partitions hold data.
+	if nonEmpty < 4 {
+		t.Fatalf("range partitioner collapsed: %d non-empty partitions", nonEmpty)
+	}
+}
+
+func TestCustomPartitionerOutOfRangeFails(t *testing.T) {
+	job := WordCount("a b c")
+	job.Partition = func(string, int) int { return 99 }
+	if _, err := Run(staticConfig(), job); err == nil {
+		t.Fatal("out-of-range partitioner accepted")
+	}
+}
+
+func TestMapperPanicSurfacesAsError(t *testing.T) {
+	job := Job{
+		Name:  "boom",
+		Input: LinesInput("a\nb"),
+		Map: func(_, v string, emit func(k, v string)) {
+			if v == "b" {
+				panic("map exploded")
+			}
+			emit(v, "1")
+		},
+		Reduce: sumReducer,
+	}
+	_, err := Run(staticConfig(), job)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("mapper panic not surfaced: %v", err)
+	}
+}
+
+func TestReducerPanicSurfacesAsError(t *testing.T) {
+	job := WordCount("a b c")
+	job.Reduce = func(key string, _ []string, _ func(k, v string)) {
+		panic("reduce exploded: " + key)
+	}
+	_, err := Run(staticConfig(), job)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("reducer panic not surfaced: %v", err)
+	}
+}

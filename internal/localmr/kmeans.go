@@ -1,0 +1,155 @@
+package localmr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// K-means as iterative MapReduce — PUMA's kmeans benchmark, executing
+// for real: every iteration is one job whose map phase assigns points
+// to the nearest centre and whose reduce phase recomputes the centres.
+
+// Point2 is a 2-D point.
+type Point2 struct{ X, Y float64 }
+
+// ParsePoints reads "x,y" lines into points.
+func ParsePoints(lines string) ([]Point2, error) {
+	var pts []Point2
+	for i, line := range strings.Split(lines, "\n") {
+		if line == "" {
+			continue
+		}
+		comma := strings.IndexByte(line, ',')
+		if comma < 0 {
+			return nil, fmt.Errorf("localmr: point line %d has no comma: %q", i+1, line)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(line[:comma]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("localmr: point line %d: %w", i+1, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(line[comma+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("localmr: point line %d: %w", i+1, err)
+		}
+		pts = append(pts, Point2{x, y})
+	}
+	return pts, nil
+}
+
+// KMeansResult carries the converged centres and iteration trace.
+type KMeansResult struct {
+	Centres    []Point2
+	Iterations int
+	// Shift is the total centre movement of the final iteration.
+	Shift float64
+}
+
+// farthestPointInit seeds centres deterministically: the first point,
+// then repeatedly the point farthest from its nearest chosen centre —
+// the greedy variant of k-means++ without randomness, which spreads
+// the seeds across well-separated clusters.
+func farthestPointInit(points []Point2, k int) []Point2 {
+	centres := []Point2{points[0]}
+	for len(centres) < k {
+		var far Point2
+		farD := -1.0
+		for _, p := range points {
+			nearest := math.Inf(1)
+			for _, c := range centres {
+				d := (p.X-c.X)*(p.X-c.X) + (p.Y-c.Y)*(p.Y-c.Y)
+				if d < nearest {
+					nearest = d
+				}
+			}
+			if nearest > farD {
+				farD = nearest
+				far = p
+			}
+		}
+		centres = append(centres, far)
+	}
+	return centres
+}
+
+// KMeans clusters points into k groups by Lloyd's algorithm, running
+// each iteration as a MapReduce job on the engine. It stops after
+// maxIters iterations or when the total centre movement falls below
+// epsilon. Centres are seeded by deterministic farthest-point
+// initialisation, so results are reproducible.
+func KMeans(cfg Config, points []Point2, k, maxIters int, epsilon float64) (*KMeansResult, error) {
+	if k <= 0 || k > len(points) {
+		return nil, fmt.Errorf("localmr: kmeans k=%d with %d points", k, len(points))
+	}
+	if maxIters <= 0 {
+		return nil, fmt.Errorf("localmr: kmeans maxIters=%d", maxIters)
+	}
+
+	input := make([]KV, len(points))
+	for i, p := range points {
+		input[i] = KV{Key: strconv.Itoa(i), Value: fmt.Sprintf("%g,%g", p.X, p.Y)}
+	}
+	centres := farthestPointInit(points, k)
+
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIters; iter++ {
+		snapshot := append([]Point2(nil), centres...)
+		job := Job{
+			Name:  fmt.Sprintf("kmeans-iter-%d", iter),
+			Input: input,
+			Map: func(_, v string, emit func(k, v string)) {
+				comma := strings.IndexByte(v, ',')
+				x, _ := strconv.ParseFloat(v[:comma], 64)
+				y, _ := strconv.ParseFloat(v[comma+1:], 64)
+				best, bestD := 0, math.Inf(1)
+				for c, centre := range snapshot {
+					d := (x-centre.X)*(x-centre.X) + (y-centre.Y)*(y-centre.Y)
+					if d < bestD {
+						best, bestD = c, d
+					}
+				}
+				emit(strconv.Itoa(best), v)
+			},
+			Reduce: func(centre string, members []string, emit func(k, v string)) {
+				var sx, sy float64
+				for _, m := range members {
+					comma := strings.IndexByte(m, ',')
+					x, _ := strconv.ParseFloat(m[:comma], 64)
+					y, _ := strconv.ParseFloat(m[comma+1:], 64)
+					sx += x
+					sy += y
+				}
+				n := float64(len(members))
+				emit(centre, fmt.Sprintf("%g,%g", sx/n, sy/n))
+			},
+		}
+		out, err := Run(cfg, job)
+		if err != nil {
+			return nil, fmt.Errorf("localmr: kmeans iteration %d: %w", iter, err)
+		}
+		next := append([]Point2(nil), centres...) // empty clusters keep their centre
+		for _, kv := range out.Pairs {
+			idx, err := strconv.Atoi(kv.Key)
+			if err != nil || idx < 0 || idx >= k {
+				return nil, fmt.Errorf("localmr: kmeans produced bad centre key %q", kv.Key)
+			}
+			comma := strings.IndexByte(kv.Value, ',')
+			x, _ := strconv.ParseFloat(kv.Value[:comma], 64)
+			y, _ := strconv.ParseFloat(kv.Value[comma+1:], 64)
+			next[idx] = Point2{x, y}
+		}
+		shift := 0.0
+		for i := range next {
+			shift += math.Hypot(next[i].X-centres[i].X, next[i].Y-centres[i].Y)
+		}
+		centres = next
+		res.Iterations = iter + 1
+		res.Shift = shift
+		if shift < epsilon {
+			break
+		}
+	}
+	res.Centres = centres
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package localmr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smapreduce/internal/puma"
+)
+
+func TestParsePoints(t *testing.T) {
+	pts, err := ParsePoints("1,2\n3.5, -4\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0] != (Point2{1, 2}) || pts[1] != (Point2{3.5, -4}) {
+		t.Fatalf("pts = %v", pts)
+	}
+	if _, err := ParsePoints("nocomma"); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ParsePoints("x,1"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestKMeansConvergesOnSeparatedClusters(t *testing.T) {
+	var b strings.Builder
+	if err := puma.GenPoints(&b, 9, 600, 3); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ParsePoints(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KMeans(staticConfig(), pts, 3, 25, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centres) != 3 {
+		t.Fatalf("centres = %d", len(res.Centres))
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("converged suspiciously fast: %d iterations", res.Iterations)
+	}
+	// The generator places centres at (0,0), (10,10), (20,20); each
+	// learned centre must be within 1.5 of one true centre, and all
+	// true centres must be claimed.
+	truth := []Point2{{0, 0}, {10, 10}, {20, 20}}
+	claimed := make([]bool, 3)
+	for _, c := range res.Centres {
+		best, bestD := -1, math.Inf(1)
+		for i, tr := range truth {
+			d := math.Hypot(c.X-tr.X, c.Y-tr.Y)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if bestD > 1.5 {
+			t.Fatalf("centre %v too far from any truth (%v)", c, bestD)
+		}
+		claimed[best] = true
+	}
+	for i, ok := range claimed {
+		if !ok {
+			t.Fatalf("true centre %d unclaimed: %v", i, res.Centres)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	pts := []Point2{{0, 0}, {1, 1}}
+	if _, err := KMeans(staticConfig(), pts, 0, 5, 1e-6); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeans(staticConfig(), pts, 3, 5, 1e-6); err == nil {
+		t.Fatal("k > points accepted")
+	}
+	if _, err := KMeans(staticConfig(), pts, 1, 0, 1e-6); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	var b strings.Builder
+	if err := puma.GenPoints(&b, 4, 200, 2); err != nil {
+		t.Fatal(err)
+	}
+	pts, _ := ParsePoints(b.String())
+	a, err := KMeans(staticConfig(), pts, 2, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := KMeans(staticConfig(), pts, 2, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centres {
+		if a.Centres[i] != c.Centres[i] {
+			t.Fatal("kmeans not deterministic")
+		}
+	}
+}

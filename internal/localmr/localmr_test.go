@@ -1,0 +1,384 @@
+package localmr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func staticConfig() Config {
+	return Config{MapWorkers: 2, ReduceWorkers: 2, MaxWorkers: 4, Partitions: 3, ChunkSize: 4, Dynamic: false}
+}
+
+func mustRun(t *testing.T, cfg Config, job Job) *Result {
+	t.Helper()
+	res, err := Run(cfg, job)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func pairsToMap(t *testing.T, pairs []KV) map[string]string {
+	t.Helper()
+	m := make(map[string]string, len(pairs))
+	for _, kv := range pairs {
+		if _, dup := m[kv.Key]; dup {
+			t.Fatalf("duplicate key %q in output", kv.Key)
+		}
+		m[kv.Key] = kv.Value
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []Config{
+		{MapWorkers: 0, ReduceWorkers: 1, MaxWorkers: 1},
+		{MapWorkers: 1, ReduceWorkers: 0, MaxWorkers: 1},
+		{MapWorkers: 4, ReduceWorkers: 1, MaxWorkers: 2},
+		{MapWorkers: 1, ReduceWorkers: 1, MaxWorkers: 1, Partitions: -1},
+		{MapWorkers: 1, ReduceWorkers: 1, MaxWorkers: 1, ChunkSize: -1},
+		{MapWorkers: 1, ReduceWorkers: 1, MaxWorkers: 1, ManagerTasksPerDecision: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d passed", i)
+		}
+	}
+}
+
+func TestRunRejectsIncompleteJob(t *testing.T) {
+	if _, err := Run(staticConfig(), Job{Name: "x"}); err == nil {
+		t.Fatal("job without map/reduce accepted")
+	}
+	if _, err := Run(Config{}, WordCount("a")); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestWordCountCorrect(t *testing.T) {
+	text := "the quick brown fox\nthe lazy dog\nthe fox"
+	res := mustRun(t, staticConfig(), WordCount(text))
+	got := pairsToMap(t, res.Pairs)
+	want := map[string]string{
+		"the": "3", "quick": "1", "brown": "1", "fox": "2", "lazy": "1", "dog": "1",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %s, want %s", k, got[k], v)
+		}
+	}
+}
+
+func TestOutputSorted(t *testing.T) {
+	res := mustRun(t, staticConfig(), WordCount("b a c b a"))
+	for i := 1; i < len(res.Pairs); i++ {
+		if res.Pairs[i-1].Key > res.Pairs[i].Key {
+			t.Fatalf("output unsorted at %d: %v", i, res.Pairs)
+		}
+	}
+}
+
+func TestCombinerMatchesNoCombiner(t *testing.T) {
+	text := strings.Repeat("alpha beta beta gamma\n", 50)
+	with := mustRun(t, staticConfig(), WordCount(text))
+	job := WordCount(text)
+	job.Combine = nil
+	without := mustRun(t, staticConfig(), job)
+	if len(with.Pairs) != len(without.Pairs) {
+		t.Fatalf("combiner changed results: %d vs %d pairs", len(with.Pairs), len(without.Pairs))
+	}
+	for i := range with.Pairs {
+		if with.Pairs[i] != without.Pairs[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, with.Pairs[i], without.Pairs[i])
+		}
+	}
+	if with.Stats.Intermediate >= without.Stats.Intermediate {
+		t.Fatalf("combiner did not shrink shuffle: %d vs %d",
+			with.Stats.Intermediate, without.Stats.Intermediate)
+	}
+}
+
+func TestGrep(t *testing.T) {
+	text := "error: disk full\nok\nerror: cpu melted\nfine"
+	res := mustRun(t, staticConfig(), Grep(text, "error"))
+	if len(res.Pairs) != 2 {
+		t.Fatalf("grep found %d lines, want 2: %v", len(res.Pairs), res.Pairs)
+	}
+	for _, kv := range res.Pairs {
+		if !strings.Contains(kv.Value, "error") {
+			t.Fatalf("non-matching line in output: %v", kv)
+		}
+	}
+}
+
+func TestInvertedIndex(t *testing.T) {
+	docs := map[string]string{
+		"d1": "apple banana",
+		"d2": "banana cherry banana",
+		"d3": "apple",
+	}
+	res := mustRun(t, staticConfig(), InvertedIndex(docs))
+	got := pairsToMap(t, res.Pairs)
+	want := map[string]string{
+		"apple":  "d1,d3",
+		"banana": "d1,d2",
+		"cherry": "d2",
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("index[%s] = %s, want %s", k, got[k], v)
+		}
+	}
+}
+
+func TestHistogramRatings(t *testing.T) {
+	lines := "m1\t5\nm2\t3\nm3\t5\nm4\t1\nbadline"
+	res := mustRun(t, staticConfig(), HistogramRatings(lines))
+	got := pairsToMap(t, res.Pairs)
+	if got["5"] != "2" || got["3"] != "1" || got["1"] != "1" {
+		t.Fatalf("histogram wrong: %v", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := mustRun(t, staticConfig(), WordCount(""))
+	if len(res.Pairs) != 0 || res.Stats.MapTasks != 0 {
+		t.Fatalf("empty input produced output: %+v", res)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	text := strings.Repeat("x y z w v u t s r q p\n", 200)
+	var outputs [][]KV
+	for _, workers := range []int{1, 2, 7} {
+		cfg := staticConfig()
+		cfg.MapWorkers, cfg.ReduceWorkers, cfg.MaxWorkers = workers, workers, workers
+		res := mustRun(t, cfg, WordCount(text))
+		outputs = append(outputs, res.Pairs)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if len(outputs[i]) != len(outputs[0]) {
+			t.Fatal("worker count changed output size")
+		}
+		for j := range outputs[i] {
+			if outputs[i][j] != outputs[0][j] {
+				t.Fatalf("worker count changed output at %d", j)
+			}
+		}
+	}
+}
+
+func TestPartitionCoverage(t *testing.T) {
+	// Every key must land in [0, partitions) and identical keys in the
+	// same partition.
+	for _, parts := range []int{1, 2, 7, 32} {
+		for _, key := range []string{"a", "b", "zebra", "", "日本語"} {
+			p1 := partitionOf(key, parts)
+			p2 := partitionOf(key, parts)
+			if p1 != p2 || p1 < 0 || p1 >= parts {
+				t.Fatalf("partitionOf(%q,%d) = %d/%d", key, parts, p1, p2)
+			}
+		}
+	}
+}
+
+func TestDynamicPoolGrows(t *testing.T) {
+	text := strings.Repeat("count these words again and again\n", 3000)
+	cfg := Config{MapWorkers: 1, ReduceWorkers: 1, MaxWorkers: 8, Partitions: 8,
+		ChunkSize: 64, Dynamic: true, ManagerTasksPerDecision: 4}
+	res := mustRun(t, cfg, WordCount(text))
+	if res.Stats.MapPoolPeak <= 1 {
+		t.Fatalf("dynamic map pool never grew: peak %d", res.Stats.MapPoolPeak)
+	}
+	if len(res.Stats.PoolDecisions) == 0 {
+		t.Fatal("no pool decisions logged")
+	}
+	got := pairsToMap(t, res.Pairs)
+	if got["words"] != "3000" {
+		t.Fatalf("dynamic run wrong: words=%s", got["words"])
+	}
+}
+
+func TestDynamicRespectsMax(t *testing.T) {
+	text := strings.Repeat("a b c d e f\n", 2000)
+	cfg := Config{MapWorkers: 1, ReduceWorkers: 1, MaxWorkers: 3, Partitions: 4,
+		ChunkSize: 16, Dynamic: true, ManagerTasksPerDecision: 2}
+	res := mustRun(t, cfg, WordCount(text))
+	if res.Stats.MapPoolPeak > 3 {
+		t.Fatalf("pool exceeded max: %d", res.Stats.MapPoolPeak)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	text := strings.Repeat("k v\n", 100)
+	cfg := staticConfig()
+	cfg.ChunkSize = 10
+	res := mustRun(t, cfg, WordCount(text))
+	if res.Stats.MapTasks != 10 {
+		t.Fatalf("MapTasks = %d, want 10", res.Stats.MapTasks)
+	}
+	if res.Stats.ReduceTasks != cfg.Partitions {
+		t.Fatalf("ReduceTasks = %d, want %d", res.Stats.ReduceTasks, cfg.Partitions)
+	}
+	if res.Stats.Output != len(res.Pairs) {
+		t.Fatal("Output count mismatch")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! 42 foo-bar")
+	want := []string{"hello", "world", "42", "foo", "bar"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLinesInputSkipsEmpty(t *testing.T) {
+	kvs := LinesInput("a\n\nb\n")
+	if len(kvs) != 2 {
+		t.Fatalf("LinesInput kept empty lines: %v", kvs)
+	}
+}
+
+func TestSumReducerPanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sum reducer accepted garbage")
+		}
+	}()
+	sumReducer("k", []string{"not-a-number"}, func(k, v string) {})
+}
+
+// Property: word counts from the engine equal a straightforward
+// sequential count, for arbitrary word soups.
+func TestQuickWordCountMatchesReference(t *testing.T) {
+	f := func(wordsRaw []uint8) bool {
+		var b strings.Builder
+		ref := make(map[string]int)
+		for i, w := range wordsRaw {
+			word := fmt.Sprintf("w%d", w%17)
+			ref[word]++
+			b.WriteString(word)
+			if i%5 == 4 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		res, err := Run(staticConfig(), WordCount(b.String()))
+		if err != nil {
+			return false
+		}
+		if len(res.Pairs) != len(ref) {
+			return false
+		}
+		for _, kv := range res.Pairs {
+			if strconv.Itoa(ref[kv.Key]) != kv.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: partitioning is a function (stable) and total across keys.
+func TestQuickPartitionStable(t *testing.T) {
+	f := func(key string, parts uint8) bool {
+		p := int(parts%16) + 1
+		v := partitionOf(key, p)
+		return v >= 0 && v < p && v == partitionOf(key, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinesFromReader(t *testing.T) {
+	kvs, err := LinesFromReader(strings.NewReader("a\n\nb\nc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 3 || kvs[0].Value != "a" || kvs[2].Value != "c" {
+		t.Fatalf("kvs = %v", kvs)
+	}
+	// Line numbers count skipped empties.
+	if kvs[1].Key != "2" {
+		t.Fatalf("line numbering = %v", kvs)
+	}
+}
+
+func TestWriteReadOutputRoundTrip(t *testing.T) {
+	pairs := []KV{{"a", "1"}, {"key with space", "v\twith tab? no: value"}, {"z", ""}}
+	var buf strings.Builder
+	if err := WriteOutput(&buf, pairs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOutput(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pairs) {
+		t.Fatalf("round trip lost pairs: %v", back)
+	}
+	if back[0] != pairs[0] || back[2] != pairs[2] {
+		t.Fatalf("round trip mangled: %v", back)
+	}
+	// Values containing tabs split at the FIRST tab; keys survive.
+	if back[1].Key != "key with space" {
+		t.Fatalf("tabbed value broke key: %v", back[1])
+	}
+}
+
+func TestReadOutputRejectsMalformed(t *testing.T) {
+	if _, err := ReadOutput(strings.NewReader("no-tab-here\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestReaderPipelineEndToEnd(t *testing.T) {
+	// Reader input → engine → writer output → reader again.
+	kvs, err := LinesFromReader(strings.NewReader("x y\ny z\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{
+		Name:  "wc",
+		Input: kvs,
+		Map: func(_, line string, emit func(k, v string)) {
+			for _, w := range Tokenize(line) {
+				emit(w, "1")
+			}
+		},
+		Reduce: sumReducer,
+	}
+	res := mustRun(t, staticConfig(), job)
+	var buf strings.Builder
+	if err := WriteOutput(&buf, res.Pairs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOutput(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pairsToMap(t, back)
+	if m["y"] != "2" || m["x"] != "1" || m["z"] != "1" {
+		t.Fatalf("pipeline result = %v", m)
+	}
+}

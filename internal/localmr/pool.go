@@ -1,0 +1,189 @@
+package localmr
+
+import (
+	"sync"
+	"time"
+)
+
+// PoolDecision records one dynamic sizing action, mirroring the slot
+// manager's decision log in the simulated runtime.
+type PoolDecision struct {
+	Stage   string // "map" or "reduce"
+	Workers int    // new worker target
+	Reason  string
+}
+
+// pool is a work-stealing goroutine pool whose size can be retuned
+// while it runs. Shrinking is lazy: a worker only exits after finishing
+// its current task (the engine-level analogue of §III-D's lazy slot
+// changing), and growth spawns fresh workers immediately.
+//
+// When dynamic, the pool hill-climbs its size on measured throughput:
+// every tasksPerDecision completions it compares the completion rate
+// against the previous window; while the rate keeps rising it grows,
+// and when the rate drops after a growth step it has found the
+// thrashing point — it steps back and pins a ceiling, exactly the
+// suspected/confirmed scheme of §IV-A2 compressed to one confirmation
+// (local pools are far less noisy than a 16-node cluster).
+type pool struct {
+	stage   string
+	max     int
+	dynamic bool
+	perDec  int
+
+	mu        sync.Mutex
+	target    int
+	alive     int
+	peakSeen  int
+	ceiling   int
+	lastDir   int
+	lastRate  float64
+	lastDecAt time.Time
+	doneCount int
+	sinceDec  int
+	log       []PoolDecision
+
+	tasks chan int
+	fn    func(int)
+	wg    sync.WaitGroup
+}
+
+func newPool(stage string, workers, max int, dynamic bool, tasksPerDecision int) *pool {
+	if max < workers {
+		max = workers
+	}
+	return &pool{
+		stage:   stage,
+		max:     max,
+		dynamic: dynamic,
+		perDec:  tasksPerDecision,
+		target:  workers,
+	}
+}
+
+// run executes fn(i) for i in [0, n) on the pool and blocks until all
+// tasks finish.
+func (p *pool) run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	p.tasks = make(chan int)
+	p.fn = fn
+	p.wg.Add(n)
+	p.lastDecAt = time.Now()
+
+	p.mu.Lock()
+	start := p.target
+	if start > n {
+		start = n
+	}
+	for i := 0; i < start; i++ {
+		p.spawnLocked()
+	}
+	p.mu.Unlock()
+
+	for i := 0; i < n; i++ {
+		p.tasks <- i
+	}
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// spawnLocked starts one worker. Caller holds p.mu.
+func (p *pool) spawnLocked() {
+	p.alive++
+	if p.alive > p.peakSeen {
+		p.peakSeen = p.alive
+	}
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	for i := range p.tasks {
+		p.fn(i)
+		if p.afterTask() {
+			return // lazy shrink: exit only between tasks
+		}
+	}
+}
+
+// afterTask updates counters, possibly makes a sizing decision, and
+// reports whether this worker should retire.
+func (p *pool) afterTask() bool {
+	p.wg.Done()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.doneCount++
+	p.sinceDec++
+	if p.dynamic && p.sinceDec >= p.perDec {
+		p.decideLocked()
+	}
+	if p.alive > p.target {
+		p.alive--
+		return true
+	}
+	return false
+}
+
+// decideLocked is the hill-climbing step. Caller holds p.mu.
+func (p *pool) decideLocked() {
+	now := time.Now()
+	elapsed := now.Sub(p.lastDecAt).Seconds()
+	p.lastDecAt = now
+	window := p.sinceDec
+	p.sinceDec = 0
+	if elapsed <= 0 {
+		return
+	}
+	rate := float64(window) / elapsed
+
+	defer func() { p.lastRate = rate }()
+
+	if p.lastRate == 0 {
+		// First window: try growing.
+		p.growLocked("first throughput sample")
+		return
+	}
+	switch {
+	case p.lastDir > 0 && rate < p.lastRate*0.97:
+		// Growth made us slower: thrashing point found.
+		if p.target > 1 {
+			p.target--
+			p.ceiling = p.target
+			p.lastDir = -1
+			p.log = append(p.log, PoolDecision{p.stage, p.target, "thrashing: rolled back"})
+		}
+	case rate >= p.lastRate*0.97:
+		p.growLocked("throughput rising")
+	}
+}
+
+// growLocked raises the target by one if allowed and spawns the worker.
+func (p *pool) growLocked(reason string) {
+	if p.ceiling > 0 && p.target >= p.ceiling {
+		p.lastDir = 0
+		return
+	}
+	if p.target >= p.max {
+		p.lastDir = 0
+		return
+	}
+	p.target++
+	p.lastDir = 1
+	p.spawnLocked()
+	p.log = append(p.log, PoolDecision{p.stage, p.target, reason})
+}
+
+// peak reports the highest concurrent worker count observed.
+func (p *pool) peak() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peakSeen
+}
+
+// decisions returns the sizing log.
+func (p *pool) decisions() []PoolDecision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]PoolDecision(nil), p.log...)
+}

@@ -1,0 +1,62 @@
+package localmr
+
+import (
+	"sort"
+)
+
+// TeraSort is the real-engine counterpart of PUMA's terasort: a total-
+// order sort. A sampled range partitioner routes keys so partition p's
+// keys all precede partition p+1's; each reduce sorts its range; the
+// concatenation of the per-partition outputs is the globally sorted
+// dataset (Result.ByPartition).
+//
+// sampleEvery controls the partitioner's sample density: every n-th
+// record's key is sampled to pick the range boundaries (TeraSort's
+// input sampler). 1 samples everything.
+func TeraSort(records []KV, partitions, sampleEvery int) Job {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	var samples []string
+	for i := 0; i < len(records); i += sampleEvery {
+		samples = append(samples, records[i].Key)
+	}
+	sort.Strings(samples)
+	// Boundaries: partition p holds keys < boundary[p]; the last
+	// partition is open-ended.
+	boundaries := make([]string, 0, partitions-1)
+	for p := 1; p < partitions; p++ {
+		idx := p * len(samples) / partitions
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		boundaries = append(boundaries, samples[idx])
+	}
+
+	return Job{
+		Name:  "terasort",
+		Input: records,
+		Map: func(k, v string, emit func(k, v string)) {
+			emit(k, v) // identity map: the sort happens in the framework
+		},
+		Partition: func(key string, parts int) int {
+			// First boundary greater than the key decides the range.
+			p := sort.SearchStrings(boundaries, key)
+			// SearchStrings returns the insertion point: keys equal to
+			// a boundary belong to the next partition, keeping ranges
+			// half-open and the order total.
+			for p < len(boundaries) && boundaries[p] == key {
+				p++
+			}
+			if p >= parts {
+				p = parts - 1
+			}
+			return p
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			for _, v := range values {
+				emit(key, v)
+			}
+		},
+	}
+}

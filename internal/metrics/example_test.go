@@ -1,0 +1,29 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"smapreduce/internal/metrics"
+)
+
+// ExampleTable renders aligned experiment rows.
+func ExampleTable() {
+	t := metrics.NewTable("demo", "engine", "exec s")
+	t.AddRowf("HadoopV1", 163.9)
+	t.AddRowf("SMapReduce", 100.5)
+	fmt.Print(t.String())
+	// Output:
+	// ## demo
+	// engine      exec s
+	// ----------  ------
+	// HadoopV1    163.9
+	// SMapReduce  100.5
+}
+
+// ExampleBars draws a quick-look ASCII chart.
+func ExampleBars() {
+	fmt.Print(metrics.Bars("", []string{"v1", "smr"}, []float64{10, 5}, 10))
+	// Output:
+	// v1   ██████████ 10
+	// smr  █████      5
+}

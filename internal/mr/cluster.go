@@ -1,0 +1,432 @@
+package mr
+
+import (
+	"fmt"
+	"math"
+
+	"smapreduce/internal/dfs"
+	"smapreduce/internal/metrics"
+	"smapreduce/internal/netsim"
+	"smapreduce/internal/resource"
+	"smapreduce/internal/sim"
+)
+
+// Controller retunes slot targets at runtime; SMapReduce's slot manager
+// (internal/core) implements it. Tick runs on the job tracker under a
+// mutation scope, so it may inspect Stats and call SetDesiredSlots but
+// must not block.
+type Controller interface {
+	// Interval is the period between Tick calls, in virtual seconds.
+	Interval() float64
+	// Tick observes the cluster and may adjust per-tracker slot targets.
+	Tick(c *Cluster)
+}
+
+// Cluster is one simulated MapReduce deployment: substrate, trackers,
+// job tracker and the fluid-work engine.
+type Cluster struct {
+	cfg    Config
+	clock  *sim.Clock
+	rng    *sim.Rand
+	nodes  []*resource.Node
+	fabric *netsim.Fabric
+	fs     *dfs.FS
+
+	trackers []*TaskTracker
+	jt       *JobTracker
+
+	ops      []*fluidOp
+	opPos    map[*fluidOp]int
+	mutDepth int
+
+	controller   Controller
+	ctrlEvent    *sim.Event
+	sampleEvent  *sim.Event
+	activeJobs   int
+	jobsToSubmit int
+	stopped      bool
+
+	// Trace, when non-nil, receives one line per notable runtime event
+	// (slot changes, barriers, job completion). Used by the examples.
+	Trace func(format string, args ...any)
+
+	// events, when enabled, collects the structured runtime log.
+	events *EventLog
+
+	// util, when enabled, records cluster-wide utilisation series.
+	util *Utilisation
+}
+
+// Utilisation holds cluster-wide time series sampled on the progress
+// sampler's cadence: occupied slots and heartbeat-smoothed rates.
+type Utilisation struct {
+	RunningMaps    *metrics.Series
+	RunningReduces *metrics.Series
+	MapInputMBps   *metrics.Series
+	ShuffleMBps    *metrics.Series
+}
+
+// EnableUtilisation attaches utilisation recording. Call before Run.
+func (c *Cluster) EnableUtilisation() *Utilisation {
+	c.util = &Utilisation{
+		RunningMaps:    metrics.NewSeries("running-maps"),
+		RunningReduces: metrics.NewSeries("running-reduces"),
+		MapInputMBps:   metrics.NewSeries("map-input-MBps"),
+		ShuffleMBps:    metrics.NewSeries("shuffle-MBps"),
+	}
+	return c.util
+}
+
+// NewCluster builds a cluster from cfg. Invalid configs return an error.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net := cfg.Net
+	net.Nodes = cfg.Workers
+	rng := sim.NewRand(cfg.Seed)
+	c := &Cluster{
+		cfg:    cfg,
+		clock:  sim.NewClock(),
+		rng:    rng.Fork(0),
+		fabric: netsim.NewFabric(net),
+		fs:     dfs.New(cfg.Workers, cfg.DFS, rng.Fork(1)),
+		opPos:  make(map[*fluidOp]int),
+	}
+	// The runtime batches flow changes per mutation scope and
+	// recomputes rates once in refreshAll.
+	c.fabric.SetAutoRecompute(false)
+	for i := 0; i < cfg.Workers; i++ {
+		spec := cfg.NodeSpec
+		if cfg.NodeSpecs != nil {
+			spec = cfg.NodeSpecs[i]
+		}
+		node := resource.NewNode(i, spec)
+		c.nodes = append(c.nodes, node)
+		c.trackers = append(c.trackers, newTaskTracker(c, i, node))
+	}
+	c.jt = newJobTracker(c)
+	return c, nil
+}
+
+// MustNewCluster is NewCluster for static experiment setup.
+func MustNewCluster(cfg Config) *Cluster {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() float64 { return c.clock.Now() }
+
+// FS exposes the simulated file system (input staging).
+func (c *Cluster) FS() *dfs.FS { return c.fs }
+
+// JobTracker exposes the master, primarily for SetDesiredSlots.
+func (c *Cluster) JobTracker() *JobTracker { return c.jt }
+
+// Trackers returns the task trackers.
+func (c *Cluster) Trackers() []*TaskTracker { return c.trackers }
+
+// NodeSpecOf returns the hardware spec of one worker.
+func (c *Cluster) NodeSpecOf(i int) resource.Spec { return c.nodes[i].Spec() }
+
+// Jobs returns every job admitted so far, in submission order.
+func (c *Cluster) Jobs() []*Job { return c.jt.jobs }
+
+// SetController attaches a slot controller. Only meaningful with the
+// Dynamic policy; attaching one under another policy is rejected so a
+// misconfigured experiment fails loudly.
+func (c *Cluster) SetController(ctrl Controller) error {
+	if c.cfg.Policy != Dynamic {
+		return fmt.Errorf("mr: controller requires the Dynamic policy, have %v", c.cfg.Policy)
+	}
+	if ctrl.Interval() <= 0 {
+		return fmt.Errorf("mr: controller interval %v must be positive", ctrl.Interval())
+	}
+	c.controller = ctrl
+	return nil
+}
+
+// tracef emits a trace line if tracing is enabled.
+func (c *Cluster) tracef(format string, args ...any) {
+	if c.Trace != nil {
+		c.Trace("[%9.2f] "+format, append([]any{c.clock.Now()}, args...)...)
+	}
+}
+
+// Run submits the given jobs at their SubmitAt times and drives the
+// simulation until all of them finish. It returns the completed jobs in
+// submission order. Run may only be called once per cluster.
+func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("mr: Run with no jobs")
+	}
+	if c.stopped || len(c.jt.jobs) > 0 {
+		return nil, fmt.Errorf("mr: Run called twice")
+	}
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage inputs. Jobs may share an input file by using the same
+	// name; the first spec sizes it.
+	jobs := make([]*Job, 0, len(specs))
+	for i, spec := range specs {
+		name := fmt.Sprintf("input/%s-%d", spec.Name, i)
+		file, err := c.fs.Create(name, spec.InputMB)
+		if err != nil {
+			return nil, err
+		}
+		j := newJob(i, spec, file, c.cfg.NodeSpec.Beta)
+		jobs = append(jobs, j)
+	}
+
+	c.jobsToSubmit = len(jobs)
+	c.activeJobs = 0
+	for _, j := range jobs {
+		j := j
+		c.clock.Schedule(j.Spec.SubmitAt, "submit "+j.Spec.Name, func() {
+			c.jobsToSubmit--
+			c.activeJobs++
+			c.Mutate(func() {
+				c.jt.admit(j)
+				c.emit(EvJobSubmitted, j.Spec.Name, "", -1,
+					fmt.Sprintf("%d maps, %d reduces", j.NumMaps(), j.NumReduces()))
+				c.tracef("submit job %s (%d maps, %d reduces, %.0f MB)",
+					j.Spec.Name, j.NumMaps(), j.NumReduces(), j.Spec.InputMB)
+				// Kick every tracker immediately rather than waiting up
+				// to a heartbeat period.
+				for _, tt := range c.trackers {
+					c.jt.assign(tt)
+				}
+			})
+		})
+	}
+
+	// Start periodic machinery: staggered heartbeats, progress sampler,
+	// controller ticks.
+	for i, tt := range c.trackers {
+		tt := tt
+		offset := c.cfg.HeartbeatPeriod * float64(i) / float64(len(c.trackers))
+		tt.lastHB = 0
+		c.clock.Schedule(offset, fmt.Sprintf("hb0 tt%d", i), tt.heartbeat)
+	}
+	c.scheduleSampler()
+	if c.controller != nil {
+		c.scheduleController()
+	}
+
+	// Drive to completion. The event bound is generous: a runaway
+	// simulation indicates a runtime bug and panics inside the clock.
+	c.clock.RunUntilIdle(200_000_000)
+
+	for _, j := range jobs {
+		if !j.Finished() {
+			return jobs, fmt.Errorf("mr: job %s did not finish (maps %d/%d, reduces %d/%d)",
+				j.Spec.Name, j.mapsDone, len(j.maps), j.reducesDone, len(j.reduces))
+		}
+	}
+	return jobs, nil
+}
+
+// scheduleSampler records progress curves for all running jobs.
+func (c *Cluster) scheduleSampler() {
+	c.sampleEvent = c.clock.After(c.cfg.SampleInterval, "sample", func() {
+		c.Mutate(func() {}) // settle so fractions are current
+		now := c.clock.Now()
+		for _, j := range c.jt.jobs {
+			if j.Submitted >= 0 && !j.Finished() {
+				j.Progress.Sample(now, j.mapProgressPct(), j.reduceProgressPct())
+			}
+		}
+		if c.util != nil {
+			runningMaps, runningReduces := 0, 0
+			inRate, shufRate := 0.0, 0.0
+			for _, tt := range c.trackers {
+				runningMaps += len(tt.runningMaps)
+				runningReduces += len(tt.runningReduces)
+				inRate += tt.mapInputRate.Value()
+				shufRate += tt.shuffleRate.Value()
+			}
+			c.util.RunningMaps.Add(now, float64(runningMaps))
+			c.util.RunningReduces.Add(now, float64(runningReduces))
+			c.util.MapInputMBps.Add(now, inRate)
+			c.util.ShuffleMBps.Add(now, shufRate)
+		}
+		if !c.stopped {
+			c.scheduleSampler()
+		}
+	})
+}
+
+// scheduleController runs controller ticks on their interval.
+func (c *Cluster) scheduleController() {
+	c.ctrlEvent = c.clock.After(c.controller.Interval(), "controller", func() {
+		c.Mutate(func() { c.controller.Tick(c) })
+		if !c.stopped {
+			c.scheduleController()
+		}
+	})
+}
+
+// shutdown cancels periodic machinery so the event queue drains.
+func (c *Cluster) shutdown() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, tt := range c.trackers {
+		tt.stop()
+	}
+	c.clock.Cancel(c.ctrlEvent)
+	c.clock.Cancel(c.sampleEvent)
+	c.tracef("all jobs finished; shutting down")
+}
+
+// Stats is an instantaneous snapshot of the runtime state the slot
+// manager consumes — the aggregate of what trackers report in their
+// heartbeats (§III-C).
+type Stats struct {
+	Now float64
+
+	RunningMaps    int
+	RunningReduces int
+	PendingMaps    int
+	PendingReduces int
+	TotalMaps      int
+	DoneMaps       int
+	TotalReduces   int
+	DoneReduces    int
+
+	// Shuffling reducers (still in the copy phase).
+	ShufflingReduces int
+
+	// Rates aggregated over trackers (heartbeat EWMA), MB/s. These are
+	// 1 s-window estimates and oscillate with task waves; controllers
+	// needing stable rates should difference the cumulative counters
+	// below over their own longer windows.
+	MapInputMBps  float64
+	MapOutputMBps float64
+	ShuffleMBps   float64
+
+	// Cumulative work counters (committed plus in-flight estimates),
+	// MB. Monotone non-decreasing while a single workload runs.
+	MapInputProcessedMB float64
+	MapOutputProducedMB float64
+	ShuffleMovedMB      float64
+
+	// PotentialShuffleMBps estimates what the shuffle fabric could
+	// absorb right now given the running reducers — the achievable
+	// rate the balance factor compares against (§III-B1).
+	PotentialShuffleMBps float64
+
+	// ShufflePerReduceMB is the expected shuffle volume per reducer of
+	// the job at the head of the queue (the tail-stretch guard input).
+	ShufflePerReduceMB float64
+
+	// HeadJobID identifies the job at the head of the FIFO queue, or -1
+	// when the queue is empty. Controllers reset per-job learning (e.g.
+	// thrashing history) when it changes.
+	HeadJobID int
+
+	// Front-stretch view: the first queued job whose maps have not all
+	// committed is the one whose map/shuffle balance the slot manager
+	// steers. With a single job these equal the cluster-wide counts.
+	FrontJobID           int    // -1 when every queued job is past its barrier
+	FrontJobName         string // profile name, keys per-workload learning
+	FrontRunningReduces  int
+	FrontTotalReduces    int
+	FrontShuffleReduces  int
+	FrontShufflePerRedMB float64
+
+	// Per-tracker views.
+	Trackers []TrackerStats
+}
+
+// TrackerStats is one tracker's heartbeat-reported state.
+type TrackerStats struct {
+	ID             int
+	MapTarget      int
+	ReduceTarget   int
+	RunningMaps    int
+	RunningReduces int
+	MapInputMBps   float64
+}
+
+// Snapshot gathers Stats. Safe to call from controller Tick.
+func (c *Cluster) Snapshot() Stats {
+	s := Stats{Now: c.clock.Now(), HeadJobID: -1, FrontJobID: -1}
+	for _, j := range c.jt.jobs {
+		if j.Submitted < 0 {
+			continue
+		}
+		s.TotalMaps += len(j.maps)
+		s.DoneMaps += j.mapsDone
+		s.TotalReduces += len(j.reduces)
+		s.DoneReduces += j.reducesDone
+	}
+	for _, j := range c.jt.queue {
+		s.ShufflePerReduceMB = j.expectedShufflePerReduceMB()
+		s.HeadJobID = j.ID
+		break
+	}
+	for _, j := range c.jt.queue {
+		if j.BarrierReached() {
+			continue
+		}
+		s.FrontJobID = j.ID
+		s.FrontJobName = j.Spec.Profile.Name
+		s.FrontTotalReduces = len(j.reduces)
+		s.FrontShufflePerRedMB = j.expectedShufflePerReduceMB()
+		for _, r := range j.reduces {
+			if r.state != TaskRunning {
+				continue
+			}
+			s.FrontRunningReduces++
+			if r.phase == 0 {
+				s.FrontShuffleReduces++
+			}
+		}
+		break
+	}
+	perReducerCap := float64(c.cfg.Fetchers) * c.cfg.PerFetchMBps
+	for _, tt := range c.trackers {
+		s.RunningMaps += len(tt.runningMaps)
+		s.RunningReduces += len(tt.runningReduces)
+		s.MapInputMBps += tt.mapInputRate.Value()
+		s.MapOutputMBps += tt.mapOutputRate.Value()
+		s.ShuffleMBps += tt.shuffleRate.Value()
+		s.MapInputProcessedMB += tt.mapInputDoneMB + tt.inFlightMapInputMB()
+		s.MapOutputProducedMB += tt.mapOutputDoneMB + tt.inFlightMapOutputMB()
+		s.ShuffleMovedMB += tt.shuffleDoneMB + tt.inFlightShuffleMB()
+		shuffling := 0
+		for r := range tt.runningReduces {
+			if r.phase == 0 {
+				shuffling++
+			}
+		}
+		s.ShufflingReduces += shuffling
+		if shuffling > 0 {
+			s.PotentialShuffleMBps += math.Min(float64(shuffling)*perReducerCap, c.cfg.Net.IngressMBps)
+		}
+		s.Trackers = append(s.Trackers, TrackerStats{
+			ID:             tt.id,
+			MapTarget:      tt.mapTarget,
+			ReduceTarget:   tt.reduceTarget,
+			RunningMaps:    len(tt.runningMaps),
+			RunningReduces: len(tt.runningReduces),
+			MapInputMBps:   tt.mapInputRate.Value(),
+		})
+	}
+	s.PendingMaps = c.jt.PendingMapCount()
+	s.PendingReduces = c.jt.PendingReduceCount()
+	return s
+}

@@ -1,0 +1,35 @@
+package mr
+
+import (
+	"testing"
+
+	"smapreduce/internal/puma"
+)
+
+// BenchmarkClusterRun measures a full simulated job end to end: ~80
+// map tasks on 4 workers, all runtime machinery engaged.
+func BenchmarkClusterRun(b *testing.B) {
+	spec := JobSpec{Name: "ts", Profile: puma.MustGet("terasort"), InputMB: 10 * 1024, Reduces: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := MustNewCluster(smallConfig())
+		if _, err := c.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshot measures the stats snapshot the slot manager takes
+// every tick.
+func BenchmarkSnapshot(b *testing.B) {
+	c := MustNewCluster(smallConfig())
+	// Populate some state by running a job first.
+	if _, err := c.Run(JobSpec{Name: "g", Profile: puma.MustGet("grep"), InputMB: 1024, Reduces: 4}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Snapshot()
+	}
+}

@@ -1,0 +1,98 @@
+package mr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind labels one entry of the structured runtime event log.
+type EventKind string
+
+// The event vocabulary. Task-level kinds identify the task in the
+// Task field as "<type>/<id>"; slot changes carry "maps/reduces" in
+// Detail.
+const (
+	EvJobSubmitted EventKind = "job-submitted"
+	EvTaskStarted  EventKind = "task-started"
+	EvTaskDone     EventKind = "task-done"
+	EvBarrier      EventKind = "barrier-crossed"
+	EvJobFinished  EventKind = "job-finished"
+	EvSlotChange   EventKind = "slot-change"
+	EvTrackerDown  EventKind = "tracker-failed"
+	EvSpeculative  EventKind = "speculative-launch"
+	EvRequeued     EventKind = "task-requeued"
+	EvTrackerDrain EventKind = "tracker-draining"
+)
+
+// Event is one structured log entry. Tracker is -1 when not applicable.
+type Event struct {
+	At      float64   `json:"at"`
+	Kind    EventKind `json:"kind"`
+	Job     string    `json:"job,omitempty"`
+	Task    string    `json:"task,omitempty"`
+	Tracker int       `json:"tracker"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// EventLog collects structured events up to a cap; beyond it the oldest
+// entries are dropped (the Dropped counter records how many), so a
+// pathological run cannot exhaust memory.
+type EventLog struct {
+	limit   int
+	events  []Event
+	Dropped int
+}
+
+// EnableEventLog attaches a structured event log to the cluster and
+// returns it. Call before Run. A limit of 0 uses a generous default.
+func (c *Cluster) EnableEventLog(limit int) *EventLog {
+	if limit <= 0 {
+		limit = 1 << 18
+	}
+	c.events = &EventLog{limit: limit}
+	return c.events
+}
+
+// emit appends an event if logging is enabled.
+func (c *Cluster) emit(kind EventKind, job, task string, tracker int, detail string) {
+	if c.events == nil {
+		return
+	}
+	l := c.events
+	if len(l.events) >= l.limit {
+		// Drop the oldest half in one amortised move.
+		half := l.limit / 2
+		copy(l.events, l.events[half:])
+		l.events = l.events[:len(l.events)-half]
+		l.Dropped += half
+	}
+	l.events = append(l.events, Event{
+		At: c.clock.Now(), Kind: kind, Job: job, Task: task, Tracker: tracker, Detail: detail,
+	})
+}
+
+// Events returns the collected events in emission order.
+func (l *EventLog) Events() []Event { return l.events }
+
+// Filter returns the events of one kind, in order.
+func (l *EventLog) Filter(kind EventKind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSONL streams the log as one JSON object per line.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("mr: encoding event log: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package mr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventLogCollectsLifecycle(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	log := c.EnableEventLog(0)
+	jobs, err := c.Run(grepJob(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobs[0]
+	if n := len(log.Filter(EvJobSubmitted)); n != 1 {
+		t.Fatalf("submitted events = %d", n)
+	}
+	if n := len(log.Filter(EvJobFinished)); n != 1 {
+		t.Fatalf("finished events = %d", n)
+	}
+	if n := len(log.Filter(EvBarrier)); n != 1 {
+		t.Fatalf("barrier events = %d", n)
+	}
+	if n := len(log.Filter(EvTaskStarted)); n != j.NumMaps()+j.NumReduces() {
+		t.Fatalf("task starts = %d, want %d", n, j.NumMaps()+j.NumReduces())
+	}
+	if n := len(log.Filter(EvTaskDone)); n != j.NumMaps()+j.NumReduces() {
+		t.Fatalf("task dones = %d, want %d", n, j.NumMaps()+j.NumReduces())
+	}
+	// Events are time-ordered.
+	evs := log.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("event log out of order")
+		}
+	}
+}
+
+func TestEventLogFailureEvents(t *testing.T) {
+	cfg := failureConfig()
+	c := MustNewCluster(cfg)
+	log := c.EnableEventLog(0)
+	c.ScheduleFailure(2, 10)
+	if _, err := c.Run(JobSpec{Name: "ts", Profile: terasortJob(4096).Profile, InputMB: 4096, Reduces: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Filter(EvTrackerDown)) != 1 {
+		t.Fatal("no tracker-failed event")
+	}
+	if len(log.Filter(EvRequeued)) == 0 {
+		t.Fatal("no requeue events after mid-run failure")
+	}
+}
+
+func TestEventLogJSONL(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	log := c.EnableEventLog(0)
+	if _, err := c.Run(grepJob(512)); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := log.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != len(log.Events()) {
+		t.Fatalf("jsonl lines = %d, events = %d", len(lines), len(log.Events()))
+	}
+	if !strings.Contains(lines[0], `"kind":"job-submitted"`) {
+		t.Fatalf("first line = %s", lines[0])
+	}
+}
+
+func TestEventLogCapDropsOldest(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	log := c.EnableEventLog(16)
+	if _, err := c.Run(grepJob(2048)); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events()) > 16 {
+		t.Fatalf("log grew past cap: %d", len(log.Events()))
+	}
+	if log.Dropped == 0 {
+		t.Fatal("cap never dropped despite many events")
+	}
+	// The tail must still end with job-finished.
+	evs := log.Events()
+	if evs[len(evs)-1].Kind != EvJobFinished {
+		t.Fatalf("last event = %s", evs[len(evs)-1].Kind)
+	}
+}
+
+func TestEventLogDisabledIsFree(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	if _, err := c.Run(grepJob(512)); err != nil {
+		t.Fatal(err)
+	}
+	// No panic, no log: emit must be a no-op without EnableEventLog.
+}
+
+func TestUtilisationSeries(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	u := c.EnableUtilisation()
+	if _, err := c.Run(grepJob(2048)); err != nil {
+		t.Fatal(err)
+	}
+	if u.RunningMaps.Len() == 0 || u.MapInputMBps.Len() == 0 {
+		t.Fatal("utilisation series empty")
+	}
+	// Peak concurrency is bounded by the slot configuration.
+	if u.RunningMaps.MaxV() > float64(smallConfig().Workers*smallConfig().MaxMapSlots) {
+		t.Fatalf("running maps peak %v exceeds slot capacity", u.RunningMaps.MaxV())
+	}
+	if u.RunningMaps.MaxV() <= 0 {
+		t.Fatal("running maps never rose above zero")
+	}
+	if u.MapInputMBps.MaxV() <= 0 {
+		t.Fatal("map rate never rose above zero")
+	}
+	// Series share the sampler cadence.
+	if u.RunningMaps.Len() != u.ShuffleMBps.Len() {
+		t.Fatal("series lengths diverge")
+	}
+}

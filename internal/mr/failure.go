@@ -1,0 +1,345 @@
+package mr
+
+import (
+	"fmt"
+	"sort"
+
+	"smapreduce/internal/resource"
+)
+
+// FailTracker kills task tracker id at the current virtual time,
+// reproducing Hadoop's failure semantics:
+//
+//   - the tracker stops heartbeating and never receives work again;
+//   - its running map and reduce tasks are aborted and requeued;
+//   - committed map outputs stored on its local disk are lost — any
+//     map whose output some reducer has not yet received re-executes
+//     on a live tracker (outputs already fetched by a reducer are
+//     durable at the reducer and are not re-fetched);
+//   - reducers lose nothing they have already copied; their pending
+//     fetches from the dead node are re-queued against the map's new
+//     execution.
+//
+// The method is the fault-injection hook used by the robustness tests;
+// schedule it before Run with ScheduleFailure. Failing an unknown or
+// already-failed tracker returns an error.
+func (c *Cluster) FailTracker(id int) error {
+	if id < 0 || id >= len(c.trackers) {
+		return fmt.Errorf("mr: FailTracker(%d): no such tracker", id)
+	}
+	tt := c.trackers[id]
+	if tt.failed {
+		return fmt.Errorf("mr: tracker %d already failed", id)
+	}
+	c.Mutate(func() { c.failTracker(tt) })
+	return nil
+}
+
+// ScheduleFailure arranges for FailTracker(id) to fire at virtual time
+// at. Call before Run.
+func (c *Cluster) ScheduleFailure(id int, at float64) {
+	c.clock.Schedule(at, fmt.Sprintf("fail tt%d", id), func() {
+		if err := c.FailTracker(id); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// failTracker does the work inside a mutation scope.
+func (c *Cluster) failTracker(tt *TaskTracker) {
+	tt.failed = true
+	tt.stop()
+	tt.mapInputRate.Reset()
+	tt.mapOutputRate.Reset()
+	tt.shuffleRate.Reset()
+	c.emit(EvTrackerDown, "", "", tt.id, "")
+	c.tracef("tracker %d failed", tt.id)
+
+	// 1. Purge every reducer's shuffle state that references the dead
+	// node: live flows are aborted without credit, queued bytes are
+	// dropped (they will be re-delivered by re-executions).
+	for _, j := range c.jt.queue {
+		for _, r := range j.reduces {
+			if r.state != TaskRunning {
+				continue
+			}
+			if sf, ok := r.flows[tt.id]; ok {
+				c.fabric.Remove(sf.flow)
+				c.dropOp(sf.op)
+				delete(r.flows, tt.id)
+				delete(r.flowMaps, tt.id)
+			}
+			delete(r.pending, tt.id)
+			delete(r.pendingMaps, tt.id)
+		}
+	}
+
+	// 2. Abort and requeue the tasks running on the dead tracker, in
+	// task order: map iteration order is randomised and would leak
+	// nondeterminism into the requeue sequence.
+	maps := make([]*mapTask, 0, len(tt.runningMaps))
+	for m := range tt.runningMaps {
+		maps = append(maps, m)
+	}
+	sort.Slice(maps, func(i, k int) bool {
+		if maps[i].job.ID != maps[k].job.ID {
+			return maps[i].job.ID < maps[k].job.ID
+		}
+		return maps[i].id < maps[k].id
+	})
+	for _, m := range maps {
+		// Speculation interplay: kill every attempt of the affected
+		// logical task and requeue the logical task once. (Killing a
+		// healthy sibling is slightly wasteful but keeps attempt state
+		// two-valued; tracker failures are rare.)
+		if m.backupOf != nil {
+			orig := m.backupOf
+			c.killAttempt(m)
+			m.backupOf = nil
+			orig.backup = nil
+			continue
+		}
+		if m.backup != nil {
+			if m.backup.state == TaskRunning {
+				c.killAttempt(m.backup)
+			}
+			m.backup.backupOf = nil
+			m.backup = nil
+		}
+		c.abortMap(m)
+	}
+	reduces := make([]*reduceTask, 0, len(tt.runningReduces))
+	for r := range tt.runningReduces {
+		reduces = append(reduces, r)
+	}
+	sort.Slice(reduces, func(i, k int) bool {
+		if reduces[i].job.ID != reduces[k].job.ID {
+			return reduces[i].job.ID < reduces[k].job.ID
+		}
+		return reduces[i].partition < reduces[k].partition
+	})
+	for _, r := range reduces {
+		c.abortReduce(r)
+	}
+
+	// 3. Re-execute committed maps whose output lived on the dead node
+	// and is still needed by some reducer.
+	for _, j := range c.jt.queue {
+		for _, m := range j.maps {
+			if m.state != TaskDone || m.outputHost != tt.id {
+				continue
+			}
+			if !c.outputStillNeeded(j, m) {
+				continue
+			}
+			c.requeueCommittedMap(j, m)
+		}
+		// Reducers that were mid-shuffle may now be blocked on maps
+		// that have to re-run; the barrier state is refreshed by the
+		// requeue itself. Reducers already past shuffle are unaffected.
+	}
+
+	// 4. Wake the live trackers so freed work is picked up immediately.
+	for _, live := range c.trackers {
+		if !live.failed {
+			c.jt.assign(live)
+		}
+	}
+}
+
+// outputStillNeeded reports whether any reducer has not received map
+// m's output in full.
+func (c *Cluster) outputStillNeeded(j *Job, m *mapTask) bool {
+	if m.shuffleMB <= 0 {
+		return false // nothing was published
+	}
+	for _, r := range j.reduces {
+		if r.state == TaskDone {
+			continue
+		}
+		if r.state == TaskRunning && r.phase > 0 {
+			continue // fetched everything already
+		}
+		if !r.got[m] {
+			return true
+		}
+	}
+	return false
+}
+
+// abortMap tears a running map attempt down and returns the task to
+// the pending queue.
+func (c *Cluster) abortMap(m *mapTask) {
+	tt := m.tracker
+	if m.cpuAct != nil {
+		tt.node.Remove(m.cpuAct)
+		m.cpuAct = nil
+	}
+	if m.diskAct != nil {
+		tt.node.Remove(m.diskAct)
+		m.diskAct = nil
+	}
+	if m.readFlow != nil {
+		c.fabric.Remove(m.readFlow)
+		m.readFlow = nil
+	}
+	c.dropOp(m.computeOp)
+	c.dropOp(m.readOp)
+	c.dropOp(m.sortOp)
+	c.dropOp(m.spillOp)
+	m.computeOp, m.readOp, m.sortOp, m.spillOp = nil, nil, nil, nil
+	delete(tt.runningMaps, m)
+	m.state = TaskPending
+	m.tracker = nil
+	m.phase = 0
+	m.pendingOps = 0
+	c.jt.requeueMap(m.job, m)
+	c.emit(EvRequeued, m.job.Spec.Name, fmt.Sprintf("map/%d", m.id), tt.id, "attempt aborted")
+}
+
+// abortReduce tears a running reduce attempt down and returns the task
+// to the pending queue. Everything it fetched dies with its local disk,
+// so the attempt restarts from zero on the next tracker.
+func (c *Cluster) abortReduce(r *reduceTask) {
+	tt := r.tracker
+	if r.phantom != nil {
+		tt.node.Remove(r.phantom)
+		r.phantom = nil
+	}
+	if r.cpuAct != nil {
+		tt.node.Remove(r.cpuAct)
+		r.cpuAct = nil
+	}
+	if r.diskAct != nil {
+		tt.node.Remove(r.diskAct)
+		r.diskAct = nil
+	}
+	for src, sf := range r.flows {
+		c.fabric.Remove(sf.flow)
+		c.dropOp(sf.op)
+		delete(r.flows, src)
+	}
+	c.dropOp(r.sortOp)
+	c.dropOp(r.mergeOp)
+	c.dropOp(r.redOp)
+	c.dropOp(r.writeOp)
+	r.sortOp, r.mergeOp, r.redOp, r.writeOp = nil, nil, nil, nil
+	for _, f := range r.pipeFlows {
+		c.fabric.Remove(f)
+	}
+	for i, a := range r.pipeActs {
+		c.nodes[r.pipeNodes[i]].Remove(a)
+	}
+	for _, op := range r.pipeOps {
+		c.dropOp(op)
+	}
+	r.pipeFlows, r.pipeActs, r.pipeNodes, r.pipeOps = nil, nil, nil, nil
+	delete(tt.runningReduces, r)
+
+	r.state = TaskPending
+	r.tracker = nil
+	r.phase = 0
+	r.pendingOps = 0
+	r.fetchedMB = 0
+	r.pending = make(map[int]float64)
+	r.pendingMaps = make(map[int][]*mapTask)
+	r.flowMaps = make(map[int][]*mapTask)
+	r.got = make(map[*mapTask]bool)
+
+	// Rebuild the fetch queue from the outputs that exist right now;
+	// outputs lost in the same failure are re-queued separately and
+	// will re-deliver on commit.
+	for _, m := range r.job.maps {
+		if m.state != TaskDone || m.shuffleMB <= 0 {
+			continue
+		}
+		if c.trackers[m.outputHost].failed {
+			continue
+		}
+		share := m.shuffleMB * r.job.partWeights[r.partition]
+		r.pending[m.outputHost] += share
+		r.pendingMaps[m.outputHost] = append(r.pendingMaps[m.outputHost], m)
+	}
+}
+
+// requeueCommittedMap rolls a committed map back to pending because its
+// output was lost. Milestones and counters are unwound so the barrier
+// re-fires after the re-execution.
+func (c *Cluster) requeueCommittedMap(j *Job, m *mapTask) {
+	m.state = TaskPending
+	m.tracker = nil
+	m.outputHost = -1
+	m.phase = 0
+	m.pendingOps = 0
+	j.mapsDone--
+	j.ShuffledMB -= m.shuffleMB
+	if j.BarrierAt >= 0 {
+		j.BarrierAt = -1 // the barrier is no longer crossed
+	}
+	c.jt.requeueMap(j, m)
+	c.emit(EvRequeued, j.Spec.Name, fmt.Sprintf("map/%d", m.id), -1, "output lost")
+	c.tracef("map %s/%d re-queued: output lost", j.Spec.Name, m.id)
+}
+
+// DecommissionTracker drains tracker id gracefully: it stops receiving
+// new tasks immediately, its running tasks finish in place, and its
+// committed map outputs remain servable until the draining jobs
+// complete. This is the administrative counterpart to FailTracker —
+// Hadoop's "exclude file" / graceful decommission — and loses no work.
+//
+// The tracker is marked draining; once its last task finishes it is
+// marked failed-equivalent for scheduling purposes but its outputs are
+// still fetched (the node is up, only the tracker daemon is retiring).
+func (c *Cluster) DecommissionTracker(id int) error {
+	if id < 0 || id >= len(c.trackers) {
+		return fmt.Errorf("mr: DecommissionTracker(%d): no such tracker", id)
+	}
+	tt := c.trackers[id]
+	if tt.failed {
+		return fmt.Errorf("mr: tracker %d already failed", id)
+	}
+	if tt.draining {
+		return fmt.Errorf("mr: tracker %d already draining", id)
+	}
+	tt.draining = true
+	c.emit(EvTrackerDrain, "", "", id, "")
+	c.tracef("tracker %d draining", tt.id)
+	return nil
+}
+
+// ScheduleDecommission arranges DecommissionTracker(id) at virtual time
+// at. Call before Run.
+func (c *Cluster) ScheduleDecommission(id int, at float64) {
+	c.clock.Schedule(at, fmt.Sprintf("drain tt%d", id), func() {
+		if err := c.DecommissionTracker(id); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// ScheduleSlowdown injects a transient degradation on node id: extra
+// contention pressure (a noisy neighbour, a failing disk, a background
+// scrub) during [at, at+duration). Unlike a heterogeneous NodeSpec this
+// is temporary, which is exactly the situation speculative execution
+// exists for. Call before Run.
+func (c *Cluster) ScheduleSlowdown(id int, pressure, at, duration float64) {
+	if id < 0 || id >= len(c.trackers) {
+		panic(fmt.Sprintf("mr: ScheduleSlowdown(%d): no such tracker", id))
+	}
+	if pressure <= 0 || duration <= 0 {
+		panic(fmt.Sprintf("mr: ScheduleSlowdown pressure %v duration %v must be positive", pressure, duration))
+	}
+	c.clock.Schedule(at, fmt.Sprintf("slowdown tt%d", id), func() {
+		act := &resource.Activity{
+			Kind:     resource.Phantom,
+			Pressure: pressure,
+			Label:    fmt.Sprintf("slowdown tt%d", id),
+		}
+		c.Mutate(func() { c.nodes[id].Add(act) })
+		c.tracef("node %d slowdown begins (pressure %+.2f)", id, pressure)
+		c.clock.After(duration, fmt.Sprintf("slowdown-end tt%d", id), func() {
+			c.Mutate(func() { c.nodes[id].Remove(act) })
+			c.tracef("node %d slowdown ends", id)
+		})
+	})
+}

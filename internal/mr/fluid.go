@@ -1,0 +1,212 @@
+package mr
+
+import (
+	"fmt"
+	"math"
+
+	"smapreduce/internal/sim"
+)
+
+// fluidOp is one piece of rate-driven work: a CPU phase, a disk phase
+// or a network flow. Between membership events its rate is constant, so
+// progress integrates linearly and completion can be scheduled exactly.
+type fluidOp struct {
+	label      string
+	total      float64        // initial work, for progress fractions
+	remaining  float64        // outstanding work
+	rateFn     func() float64 // reads the current fluid rate
+	lastRate   float64
+	lastSettle float64
+	event      *sim.Event
+	onDone     func() // runs inside the mutation scope that retired the op
+}
+
+// fraction reports completed work in [0,1].
+func (o *fluidOp) fraction() float64 {
+	if o.total <= 0 {
+		return 1
+	}
+	f := 1 - o.remaining/o.total
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+const opEpsilon = 1e-9
+
+// Mutate brackets a state change to the fluid system: it settles all
+// in-flight work at the current rates, applies fn (which may add or
+// remove activities, flows and ops, and may nest further Mutate calls),
+// then refreshes every op's rate and completion event once at the
+// outermost level.
+func (c *Cluster) Mutate(fn func()) {
+	if c.mutDepth == 0 {
+		c.settleAll()
+	}
+	c.mutDepth++
+	fn()
+	c.mutDepth--
+	if c.mutDepth == 0 {
+		c.refreshAll()
+	}
+}
+
+// addOp registers new fluid work. Must be called inside Mutate.
+func (c *Cluster) addOp(label string, work float64, rateFn func() float64, onDone func()) *fluidOp {
+	if c.mutDepth == 0 {
+		panic("mr: addOp outside Mutate")
+	}
+	if work < 0 || math.IsNaN(work) {
+		panic(fmt.Sprintf("mr: op %q with invalid work %v", label, work))
+	}
+	op := &fluidOp{
+		label:      label,
+		total:      work,
+		remaining:  work,
+		rateFn:     rateFn,
+		lastSettle: c.clock.Now(),
+		onDone:     onDone,
+	}
+	c.addToOps(op)
+	return op
+}
+
+// The op set is an insertion-ordered slice (with swap-remove) rather
+// than a map: settle and refresh iterate it, and iteration order
+// assigns event sequence numbers, which break ties between same-instant
+// completions. Map iteration order would make those ties — and any rng
+// draws their handlers perform — nondeterministic across runs.
+
+func (c *Cluster) addToOps(op *fluidOp) {
+	c.opPos[op] = len(c.ops)
+	c.ops = append(c.ops, op)
+}
+
+func (c *Cluster) removeFromOps(op *fluidOp) {
+	i, ok := c.opPos[op]
+	if !ok {
+		return
+	}
+	last := len(c.ops) - 1
+	c.ops[i] = c.ops[last]
+	c.opPos[c.ops[i]] = i
+	c.ops[last] = nil
+	c.ops = c.ops[:last]
+	delete(c.opPos, op)
+}
+
+func (c *Cluster) hasOp(op *fluidOp) bool {
+	_, ok := c.opPos[op]
+	return ok
+}
+
+// dropOp unregisters an op without completing it (task teardown).
+// Safe to call on already-retired ops.
+func (c *Cluster) dropOp(op *fluidOp) {
+	if op == nil {
+		return
+	}
+	if !c.hasOp(op) {
+		return
+	}
+	c.removeFromOps(op)
+	c.clock.Cancel(op.event)
+	op.event = nil
+}
+
+// topUpOp adds work to a live op (shuffle flows gain bytes when map
+// outputs commit). Must be called inside Mutate.
+func (c *Cluster) topUpOp(op *fluidOp, work float64) {
+	if c.mutDepth == 0 {
+		panic("mr: topUpOp outside Mutate")
+	}
+	if work < 0 {
+		panic(fmt.Sprintf("mr: topUpOp %q with negative work %v", op.label, work))
+	}
+	if !c.hasOp(op) {
+		panic(fmt.Sprintf("mr: topUpOp on retired op %q", op.label))
+	}
+	op.total += work
+	op.remaining += work
+}
+
+// settleAll integrates every op's progress up to now at its last
+// computed rate.
+func (c *Cluster) settleAll() {
+	now := c.clock.Now()
+	for _, op := range c.ops {
+		dt := now - op.lastSettle
+		if dt > 0 && op.lastRate > 0 {
+			op.remaining -= op.lastRate * dt
+			if op.remaining < 0 {
+				// A completion event at exactly this instant is still
+				// queued; tolerate the epsilon and clamp.
+				if op.remaining < -1e-6*math.Max(1, op.total) {
+					panic(fmt.Sprintf("mr: op %q overshot by %v", op.label, -op.remaining))
+				}
+				op.remaining = 0
+			}
+		}
+		op.lastSettle = now
+	}
+}
+
+// refreshAll re-reads every op's rate and (re)schedules its completion.
+func (c *Cluster) refreshAll() {
+	c.fabric.Recompute()
+	now := c.clock.Now()
+	for _, op := range c.ops {
+		rate := op.rateFn()
+		if math.IsNaN(rate) || rate < 0 {
+			panic(fmt.Sprintf("mr: op %q has invalid rate %v", op.label, rate))
+		}
+		// Unchanged rate with a live event: the scheduled completion is
+		// still exact, so skip the cancel/reschedule churn. This is the
+		// common case — most events perturb one node, not the cluster.
+		if rate == op.lastRate && op.event != nil && !op.event.Cancelled() && op.remaining > opEpsilon {
+			continue
+		}
+		op.lastRate = rate
+		c.clock.Cancel(op.event)
+		op.event = nil
+		switch {
+		case op.remaining <= opEpsilon:
+			op.event = c.clock.Schedule(now, op.label, c.completionHandler(op))
+		case rate > 0:
+			eta := op.remaining / rate
+			if math.IsInf(eta, 1) {
+				continue
+			}
+			op.event = c.clock.Schedule(now+eta, op.label, c.completionHandler(op))
+		}
+	}
+}
+
+// completionHandler retires the op and runs its continuation inside a
+// fresh mutation scope.
+func (c *Cluster) completionHandler(op *fluidOp) func() {
+	return func() {
+		if !c.hasOp(op) {
+			return // dropped between scheduling and firing
+		}
+		op.event = nil // this event has fired; it no longer guards the op
+		c.Mutate(func() {
+			// Settle may leave a hair of work if rates fell since the
+			// event was scheduled; in that case re-arm instead of
+			// completing early.
+			if op.remaining > opEpsilon && op.lastRate > 0 {
+				return // refreshAll will reschedule
+			}
+			op.remaining = 0
+			c.removeFromOps(op)
+			op.event = nil
+			if op.onDone != nil {
+				op.onDone()
+			}
+		})
+	}
+}

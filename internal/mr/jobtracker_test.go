@@ -1,0 +1,217 @@
+package mr
+
+import (
+	"testing"
+
+	"smapreduce/internal/puma"
+)
+
+// admitTestJob stages a file and admits a job outside Run, for direct
+// scheduler unit tests.
+func admitTestJob(t *testing.T, c *Cluster, name string, inputMB float64, reduces int) *Job {
+	t.Helper()
+	file, err := c.fs.Create("input/"+name, inputMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Name: name, Profile: puma.MustGet("grep"), InputMB: inputMB, Reduces: reduces}
+	j := newJob(len(c.jt.jobs), spec, file, c.cfg.NodeSpec.Beta)
+	c.Mutate(func() { c.jt.admit(j) })
+	return j
+}
+
+func TestNextMapPrefersNodeLocal(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	j := admitTestJob(t, c, "a", 16*128, 4)
+	for _, tt := range c.trackers {
+		m := c.jt.nextMap(tt)
+		if m == nil {
+			t.Fatalf("no map for tracker %d", tt.id)
+		}
+		// With 16 blocks × 3 replicas over 4 nodes, every node holds
+		// replicas, so the pick must be node-local.
+		local := false
+		for _, h := range m.split.Hosts {
+			if h == tt.id {
+				local = true
+			}
+		}
+		if !local {
+			t.Errorf("tracker %d got non-local split %v", tt.id, m.split.Hosts)
+		}
+		// Selected tasks leave the pending pool.
+		for _, p := range c.jt.pendingMaps[j] {
+			if p == m {
+				t.Fatal("picked map still pending")
+			}
+		}
+		m.state = TaskRunning // prevent re-pick via by-host index
+	}
+}
+
+func TestNextMapFallsBackWhenNoLocal(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DFS.Replication = 1
+	c := MustNewCluster(cfg)
+	admitTestJob(t, c, "a", 2*128, 4) // 2 blocks, 1 replica each
+	// Drain all maps through one tracker: at most 2 picks, the second
+	// (or both) possibly remote — but both must succeed.
+	tt := c.trackers[0]
+	got := 0
+	for {
+		m := c.jt.nextMap(tt)
+		if m == nil {
+			break
+		}
+		m.state = TaskRunning
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("picked %d maps, want 2", got)
+	}
+}
+
+func TestFIFOOrderAcrossJobs(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	a := admitTestJob(t, c, "a", 4*128, 4)
+	b := admitTestJob(t, c, "b", 4*128, 4)
+	// All of job a's maps are picked before any of job b's.
+	tt := c.trackers[0]
+	for i := 0; i < 4; i++ {
+		m := c.jt.nextMap(tt)
+		if m.job != a {
+			t.Fatalf("pick %d came from job %s, want a", i, m.job.Spec.Name)
+		}
+		m.state = TaskRunning
+	}
+	if m := c.jt.nextMap(tt); m == nil || m.job != b {
+		t.Fatal("job b not served after a drained")
+	}
+}
+
+func TestFairOrderPrefersFewerRunning(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scheduler = Fair
+	c := MustNewCluster(cfg)
+	a := admitTestJob(t, c, "a", 4*128, 4)
+	b := admitTestJob(t, c, "b", 4*128, 4)
+	tt := c.trackers[0]
+	// Give job a two running tasks; Fair must now pick from b.
+	a.maps[0].state = TaskRunning
+	a.maps[1].state = TaskRunning
+	m := c.jt.nextMap(tt)
+	if m == nil || m.job != b {
+		t.Fatalf("fair scheduler picked from %v, want b", m.job.Spec.Name)
+	}
+}
+
+func TestNextReduceSlowstartGate(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	j := admitTestJob(t, c, "a", 40*128, 4) // 40 maps, slowstart 5% → 2 maps
+	tt := c.trackers[0]
+	if r := c.jt.nextReduce(tt); r != nil {
+		t.Fatal("reduce offered before slowstart")
+	}
+	j.mapsDone = 2
+	if r := c.jt.nextReduce(tt); r == nil {
+		t.Fatal("reduce not offered after slowstart")
+	}
+}
+
+func TestReduceDemandExists(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	j := admitTestJob(t, c, "a", 40*128, 4)
+	if c.jt.reduceDemandExists() {
+		t.Fatal("demand before slowstart")
+	}
+	j.mapsDone = 5
+	if !c.jt.reduceDemandExists() {
+		t.Fatal("no demand after slowstart with pending reduces")
+	}
+	for _, r := range j.reduces {
+		r.state = TaskRunning
+	}
+	if c.jt.reduceDemandExists() {
+		t.Fatal("demand with all reduces running")
+	}
+}
+
+func TestRequeueMapIsPickableAgain(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	j := admitTestJob(t, c, "a", 2*128, 4)
+	tt := c.trackers[0]
+	m := c.jt.nextMap(tt)
+	m.state = TaskRunning
+	// Abort and requeue: must come back from nextMap.
+	m.state = TaskPending
+	c.jt.requeueMap(j, m)
+	seen := false
+	for {
+		p := c.jt.nextMap(tt)
+		if p == nil {
+			break
+		}
+		if p == m {
+			seen = true
+		}
+		p.state = TaskRunning
+	}
+	if !seen {
+		t.Fatal("requeued map never re-picked")
+	}
+}
+
+func TestPendingCounts(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	admitTestJob(t, c, "a", 4*128, 6)
+	if got := c.jt.PendingMapCount(); got != 4 {
+		t.Fatalf("pending maps = %d, want 4", got)
+	}
+	if got := c.jt.PendingReduceCount(); got != 6 {
+		t.Fatalf("pending reduces = %d, want 6", got)
+	}
+}
+
+func TestRetireRemovesFromQueue(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	a := admitTestJob(t, c, "a", 2*128, 2)
+	b := admitTestJob(t, c, "b", 2*128, 2)
+	c.jt.retire(a)
+	if len(c.jt.queue) != 1 || c.jt.queue[0] != b {
+		t.Fatalf("queue after retire: %d entries", len(c.jt.queue))
+	}
+	c.jt.retire(a) // double retire is a no-op
+	if len(c.jt.queue) != 1 {
+		t.Fatal("double retire corrupted queue")
+	}
+}
+
+func TestProgressFractionPhases(t *testing.T) {
+	// White-box checks of the Hadoop-style progress arithmetic.
+	m := &mapTask{state: TaskPending}
+	if m.progressFraction() != 0 {
+		t.Fatal("pending map progress != 0")
+	}
+	m.state = TaskDone
+	if m.progressFraction() != 1 {
+		t.Fatal("done map progress != 1")
+	}
+	m.state = TaskRunning
+	m.phase = 0
+	m.computeOp = &fluidOp{total: 10, remaining: 5}
+	if got := m.progressFraction(); got != 0.85*0.5 {
+		t.Fatalf("map compute progress = %v, want 0.425", got)
+	}
+	m.phase = 1
+	m.sortOp = &fluidOp{total: 10, remaining: 10}
+	if got := m.progressFraction(); got != 0.85 {
+		t.Fatalf("map spill-start progress = %v, want 0.85", got)
+	}
+
+	r := &reduceTask{state: TaskRunning, phase: 1, job: &Job{Spec: JobSpec{InputMB: 100, Profile: puma.MustGet("terasort")}}}
+	r.job.reduces = make([]*reduceTask, 4)
+	r.sortOp = &fluidOp{total: 10, remaining: 0}
+	if got := r.progressFraction(); got < 0.66 || got > 0.67 {
+		t.Fatalf("reduce sort-done progress = %v, want ≈2/3", got)
+	}
+}

@@ -1,0 +1,188 @@
+package mr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"smapreduce/internal/dfs"
+	"smapreduce/internal/stats"
+)
+
+// This file is the job-history view of a finished run — the runtime's
+// answer to Hadoop's job history server. Reports are assembled from
+// task state after completion and feed the examples, the CLI and the
+// diagnosis of calibration changes.
+
+// TaskReport summarises one logical task.
+type TaskReport struct {
+	Type       string // "map" or "reduce"
+	ID         int
+	Tracker    int     // node that ran the winning attempt (-1 if never ran)
+	StartedAt  float64 // winning attempt's launch time
+	FinishedAt float64 // commit time (maps; 0 if unfinished)
+	InputMB    float64 // split size (maps) or fetched volume (reduces)
+	Done       bool
+}
+
+// JobReport is the per-job summary.
+type JobReport struct {
+	Name       string
+	Submitted  float64
+	Started    float64
+	BarrierAt  float64
+	FinishedAt float64
+
+	MapTasks    int
+	ReduceTasks int
+
+	// Locality of map executions (by winning attempt).
+	DataLocalMaps int
+	RackLocalMaps int
+	RemoteMaps    int
+
+	// Speculation.
+	SpeculativeLaunched int
+	SpeculativeWins     int
+
+	// Per-node task spread: how many map tasks each tracker executed.
+	MapsPerNode []int
+
+	Tasks []TaskReport
+}
+
+// Report builds the job-history view. It is valid on finished and
+// unfinished jobs alike (unfinished tasks appear with Done = false).
+// The dfs parameter supplies rack topology for locality classification.
+func (j *Job) Report(c *Cluster) *JobReport {
+	r := &JobReport{
+		Name:                j.Spec.Name,
+		Submitted:           j.Submitted,
+		Started:             j.Started,
+		BarrierAt:           j.BarrierAt,
+		FinishedAt:          j.FinishedAt,
+		MapTasks:            len(j.maps),
+		ReduceTasks:         len(j.reduces),
+		SpeculativeLaunched: j.SpeculativeLaunched,
+		SpeculativeWins:     j.SpeculativeWins,
+		MapsPerNode:         make([]int, c.cfg.Workers),
+	}
+	for _, m := range j.maps {
+		tr := TaskReport{Type: "map", ID: m.id, Tracker: -1, InputMB: m.split.SizeMB, Done: m.state == TaskDone}
+		if m.outputHost >= 0 {
+			tr.Tracker = m.outputHost
+			tr.StartedAt = m.started
+			tr.FinishedAt = m.finished
+			r.MapsPerNode[m.outputHost]++
+			switch c.fs.LocalityOf(m.outputHost, m.split) {
+			case dfs.Local:
+				r.DataLocalMaps++
+			case dfs.RackLocal:
+				r.RackLocalMaps++
+			default:
+				r.RemoteMaps++
+			}
+		}
+		r.Tasks = append(r.Tasks, tr)
+	}
+	for _, rd := range j.reduces {
+		tr := TaskReport{Type: "reduce", ID: rd.partition, Tracker: -1, InputMB: rd.fetchedMB, Done: rd.state == TaskDone}
+		if rd.tracker != nil {
+			tr.Tracker = rd.tracker.id
+		}
+		r.Tasks = append(r.Tasks, tr)
+	}
+	return r
+}
+
+// MapDurationHistogram buckets finished map task durations into a
+// 20-cell histogram spanning the observed range — the job-history view
+// that makes stragglers and wave structure visible at a glance.
+func (r *JobReport) MapDurationHistogram() *stats.Histogram {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var durations []float64
+	for _, t := range r.Tasks {
+		if t.Type != "map" || !t.Done || t.FinishedAt <= t.StartedAt {
+			continue
+		}
+		d := t.FinishedAt - t.StartedAt
+		durations = append(durations, d)
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+	}
+	if len(durations) == 0 {
+		return stats.NewHistogram(0, 1, 20)
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	h := stats.NewHistogram(lo, hi*1.0001, 20)
+	for _, d := range durations {
+		h.Add(d)
+	}
+	return h
+}
+
+// LocalityFraction reports the share of executed maps that ran
+// data-local, in [0,1]. NaN if no map has run.
+func (r *JobReport) LocalityFraction() float64 {
+	total := r.DataLocalMaps + r.RackLocalMaps + r.RemoteMaps
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(r.DataLocalMaps) / float64(total)
+}
+
+// Skew reports the imbalance of map executions across nodes: the ratio
+// of the busiest node's map count to the mean. 1.0 is perfectly even.
+func (r *JobReport) Skew() float64 {
+	counts := make([]float64, 0, len(r.MapsPerNode))
+	for _, n := range r.MapsPerNode {
+		counts = append(counts, float64(n))
+	}
+	mean := stats.Mean(counts)
+	if mean == 0 {
+		return math.NaN()
+	}
+	return stats.Max(counts) / mean
+}
+
+// String renders a compact history summary.
+func (r *JobReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %s: %d maps, %d reduces\n", r.Name, r.MapTasks, r.ReduceTasks)
+	fmt.Fprintf(&b, "  submitted %.1f  started %.1f  barrier %.1f  finished %.1f\n",
+		r.Submitted, r.Started, r.BarrierAt, r.FinishedAt)
+	total := r.DataLocalMaps + r.RackLocalMaps + r.RemoteMaps
+	if total > 0 {
+		fmt.Fprintf(&b, "  locality: %d data-local, %d rack-local, %d remote (%.0f%% local)\n",
+			r.DataLocalMaps, r.RackLocalMaps, r.RemoteMaps, 100*r.LocalityFraction())
+	}
+	if r.SpeculativeLaunched > 0 {
+		fmt.Fprintf(&b, "  speculation: %d launched, %d won\n", r.SpeculativeLaunched, r.SpeculativeWins)
+	}
+	if skew := r.Skew(); !math.IsNaN(skew) {
+		fmt.Fprintf(&b, "  map spread: busiest node at %.2fx the mean\n", skew)
+	}
+	if h := r.MapDurationHistogram(); h.N() > 0 {
+		fmt.Fprintf(&b, "  map durations: %s (%.1f–%.1f s)\n", h, h.Min(), h.Max())
+	}
+	return b.String()
+}
+
+// SlowestTasks returns the n tasks with the latest start times among
+// finished tasks — the stragglers a job-history reader looks for.
+func (r *JobReport) SlowestTasks(n int) []TaskReport {
+	done := make([]TaskReport, 0, len(r.Tasks))
+	for _, t := range r.Tasks {
+		if t.Done && t.Tracker >= 0 {
+			done = append(done, t)
+		}
+	}
+	sort.Slice(done, func(i, k int) bool { return done[i].StartedAt > done[k].StartedAt })
+	if n > len(done) {
+		n = len(done)
+	}
+	return done[:n]
+}

@@ -1,0 +1,148 @@
+package mr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smapreduce/internal/puma"
+)
+
+func TestJobReportBasics(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	jobs, err := c.Run(grepJob(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := jobs[0].Report(c)
+	if r.MapTasks != 8 || r.ReduceTasks != 8 {
+		t.Fatalf("task counts: %d/%d", r.MapTasks, r.ReduceTasks)
+	}
+	if len(r.Tasks) != 16 {
+		t.Fatalf("tasks = %d, want 16", len(r.Tasks))
+	}
+	for _, task := range r.Tasks {
+		if !task.Done {
+			t.Fatalf("unfinished task in finished job: %+v", task)
+		}
+		if task.Tracker < 0 || task.Tracker >= smallConfig().Workers {
+			t.Fatalf("bad tracker %d", task.Tracker)
+		}
+	}
+	total := r.DataLocalMaps + r.RackLocalMaps + r.RemoteMaps
+	if total != r.MapTasks {
+		t.Fatalf("locality buckets sum %d, want %d", total, r.MapTasks)
+	}
+	// With 3x replication on 4 nodes, locality should be near-perfect.
+	if r.LocalityFraction() < 0.5 {
+		t.Fatalf("locality fraction %v suspiciously low", r.LocalityFraction())
+	}
+	out := r.String()
+	for _, want := range []string{"job grep", "locality", "barrier"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJobReportSkew(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	jobs, err := c.Run(grepJob(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := jobs[0].Report(c)
+	skew := r.Skew()
+	if math.IsNaN(skew) || skew < 1 {
+		t.Fatalf("skew = %v", skew)
+	}
+	if skew > 2.5 {
+		t.Fatalf("map spread wildly uneven: %v", skew)
+	}
+	sum := 0
+	for _, n := range r.MapsPerNode {
+		sum += n
+	}
+	if sum != r.MapTasks {
+		t.Fatalf("per-node counts sum %d, want %d", sum, r.MapTasks)
+	}
+}
+
+func TestJobReportSlowestTasks(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	jobs, err := c.Run(grepJob(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := jobs[0].Report(c)
+	slow := r.SlowestTasks(3)
+	if len(slow) != 3 {
+		t.Fatalf("slowest = %d tasks", len(slow))
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].StartedAt > slow[i-1].StartedAt {
+			t.Fatal("slowest tasks not sorted by start time")
+		}
+	}
+	if got := r.SlowestTasks(10_000); len(got) != len(r.Tasks) {
+		t.Fatalf("oversized n returned %d", len(got))
+	}
+}
+
+func TestJobReportUnfinished(t *testing.T) {
+	// A report on a never-run job has no localities and NaN skew.
+	c := MustNewCluster(smallConfig())
+	file, err := c.fs.Create("input/x", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := newJob(0, JobSpec{Name: "x", Profile: puma.MustGet("grep"), InputMB: 1024, Reduces: 4}, file, c.cfg.NodeSpec.Beta)
+	r := j.Report(c)
+	if !math.IsNaN(r.LocalityFraction()) || !math.IsNaN(r.Skew()) {
+		t.Fatal("empty report produced numbers")
+	}
+	for _, task := range r.Tasks {
+		if task.Done || task.Tracker != -1 {
+			t.Fatalf("phantom execution in report: %+v", task)
+		}
+	}
+}
+
+func TestJobReportSpeculationCounters(t *testing.T) {
+	cfg := stragglerConfig(true)
+	c := MustNewCluster(cfg)
+	jobs, err := c.Run(JobSpec{Name: "g", Profile: puma.MustGet("grep"), InputMB: 8192, Reduces: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := jobs[0].Report(c)
+	if r.SpeculativeLaunched == 0 {
+		t.Fatal("speculation counters not propagated to report")
+	}
+	if !strings.Contains(r.String(), "speculation") {
+		t.Fatal("report omits speculation line")
+	}
+}
+
+func TestMapDurationHistogram(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	jobs, err := c.Run(grepJob(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := jobs[0].Report(c)
+	h := r.MapDurationHistogram()
+	if h.N() != r.MapTasks {
+		t.Fatalf("histogram has %d samples, want %d", h.N(), r.MapTasks)
+	}
+	if h.Mean() <= 0 {
+		t.Fatal("non-positive mean duration")
+	}
+	// Jittered costs spread durations: min < max.
+	if !(h.Min() < h.Max()) {
+		t.Fatalf("durations degenerate: %v..%v", h.Min(), h.Max())
+	}
+	if !strings.Contains(r.String(), "map durations") {
+		t.Fatal("report omits duration line")
+	}
+}

@@ -1,0 +1,554 @@
+package mr
+
+import (
+	"fmt"
+
+	"smapreduce/internal/dfs"
+	"smapreduce/internal/netsim"
+	"smapreduce/internal/resource"
+)
+
+// launchMap starts map task m on tracker tt. Caller must hold a
+// mutation scope and have verified a free slot.
+func (c *Cluster) launchMap(tt *TaskTracker, m *mapTask) {
+	if m.state != TaskPending {
+		panic(fmt.Sprintf("mr: launching map %s/%d in state %v", m.job.Spec.Name, m.id, m.state))
+	}
+	prof := m.job.Spec.Profile
+	jit := c.rng.Jitter(c.cfg.Jitter)
+	m.state = TaskRunning
+	m.tracker = tt
+	m.started = c.clock.Now()
+	m.preCombineMB = m.split.SizeMB * prof.MapOutputRatio * jit
+	m.shuffleMB = m.preCombineMB * prof.CombineRatio
+	if c.cfg.CompressShuffle {
+		// shuffleMB is what crosses disk and network: compressed bytes.
+		m.shuffleMB *= c.cfg.CompressionRatio
+	}
+	tt.runningMaps[m] = struct{}{}
+	c.emit(EvTaskStarted, m.job.Spec.Name, fmt.Sprintf("map/%d", m.id), tt.id, "")
+	if m.job.Started < 0 {
+		m.job.Started = c.clock.Now()
+	}
+
+	// Phase 0: stream the split (remotely if not local) while running
+	// the map function. The phase completes when both finish.
+	m.phase = 0
+	m.pendingOps = 1
+	m.cpuAct = &resource.Activity{
+		Kind:        resource.CPU,
+		Remaining:   1, // work is tracked by the op; the activity provides the rate
+		Weight:      1,
+		Pressure:    m.job.mapPressure,
+		FootprintMB: prof.MapFootprintMB,
+		Label:       fmt.Sprintf("map %s/%d", m.job.Spec.Name, m.id),
+	}
+	tt.node.Add(m.cpuAct)
+	work := m.split.SizeMB * prof.MapCPUPerMB * c.rng.Jitter(c.cfg.Jitter)
+	m.computeOp = c.addOp(m.cpuAct.Label, work, m.cpuAct.Rate, func() {
+		tt.node.Remove(m.cpuAct)
+		m.cpuAct = nil
+		c.mapPhaseOpDone(m)
+	})
+
+	if host := c.nearestLiveHost(tt.id, m.split); host != tt.id {
+		m.pendingOps++
+		flow := &netsim.Flow{Src: host, Dst: tt.id, RemainingMB: m.split.SizeMB,
+			Label: fmt.Sprintf("read %s/%d", m.job.Spec.Name, m.id)}
+		c.fabric.Add(flow)
+		m.readFlow = flow
+		m.readOp = c.addOp(flow.Label, m.split.SizeMB, flow.Rate, func() {
+			c.fabric.Remove(flow)
+			m.readFlow = nil
+			c.mapPhaseOpDone(m)
+		})
+	}
+}
+
+// nearestLiveHost is dfs.NearestHost restricted to live trackers; a
+// split whose replicas are all on dead nodes is unrecoverable data
+// loss, which the simulation treats as fatal.
+func (c *Cluster) nearestLiveHost(node int, split dfs.Split) int {
+	if h := c.fs.NearestHost(node, split); !c.trackers[h].failed {
+		return h
+	}
+	rack := c.fs.Rack(node)
+	best := -1
+	for _, h := range split.Hosts {
+		if c.trackers[h].failed {
+			continue
+		}
+		if h == node {
+			return h
+		}
+		if best < 0 || (c.fs.Rack(h) == rack && c.fs.Rack(best) != rack) {
+			best = h
+		}
+	}
+	if best < 0 {
+		panic(fmt.Sprintf("mr: all replicas of %s/%d are on failed nodes", split.File, split.Index))
+	}
+	return best
+}
+
+// mapPhaseOpDone advances the map task when all ops of its current
+// phase have retired.
+func (c *Cluster) mapPhaseOpDone(m *mapTask) {
+	m.pendingOps--
+	if m.pendingOps > 0 {
+		return
+	}
+	switch m.phase {
+	case 0:
+		c.startMapSpill(m)
+	case 1:
+		c.commitMap(m)
+	default:
+		panic(fmt.Sprintf("mr: map %s/%d finished unknown phase %d", m.job.Spec.Name, m.id, m.phase))
+	}
+}
+
+// startMapSpill begins the sort-and-spill (plus combine) phase.
+func (c *Cluster) startMapSpill(m *mapTask) {
+	prof := m.job.Spec.Profile
+	tt := m.tracker
+	m.phase = 1
+	m.pendingOps = 0
+
+	sortWork := m.preCombineMB * prof.SortCPUPerMB
+	if c.cfg.CompressShuffle {
+		sortWork += m.preCombineMB * prof.CombineRatio * c.cfg.CompressCPUPerMB
+	}
+	if sortWork > 0 {
+		m.pendingOps++
+		m.cpuAct = &resource.Activity{
+			Kind:        resource.CPU,
+			Remaining:   1,
+			Weight:      1,
+			Pressure:    m.job.mapPressure,
+			FootprintMB: prof.MapFootprintMB,
+			Label:       fmt.Sprintf("sort %s/%d", m.job.Spec.Name, m.id),
+		}
+		tt.node.Add(m.cpuAct)
+		m.sortOp = c.addOp(m.cpuAct.Label, sortWork, m.cpuAct.Rate, func() {
+			tt.node.Remove(m.cpuAct)
+			m.cpuAct = nil
+			c.mapPhaseOpDone(m)
+		})
+	}
+	if m.preCombineMB > 0 {
+		m.pendingOps++
+		m.diskAct = &resource.Activity{
+			Kind:      resource.Disk,
+			Remaining: 1,
+			Weight:    0.2, // spill writers are mostly I/O wait
+			Label:     fmt.Sprintf("spill %s/%d", m.job.Spec.Name, m.id),
+		}
+		tt.node.Add(m.diskAct)
+		m.spillOp = c.addOp(m.diskAct.Label, m.preCombineMB, m.diskAct.Rate, func() {
+			tt.node.Remove(m.diskAct)
+			m.diskAct = nil
+			c.mapPhaseOpDone(m)
+		})
+	}
+	if m.pendingOps == 0 {
+		// Jobs that emit no map output (pure filters with no matches)
+		// commit immediately.
+		c.commitMap(m)
+	}
+}
+
+// commitMap finalises a map attempt: frees the slot, resolves any
+// speculative race, publishes the logical task's output for shuffling
+// and fires the barrier when it is the last map.
+func (c *Cluster) commitMap(m *mapTask) {
+	tt := m.tracker
+	logical := m.original()
+	m.state = TaskDone
+	delete(tt.runningMaps, m)
+	if !c.resolveSpeculation(m) {
+		// The sibling attempt committed first; this one is a duplicate.
+		c.jt.taskFreed(tt)
+		return
+	}
+
+	// Record the winning attempt's results on the logical task, which
+	// is what reducers, the barrier and failure recovery track.
+	logical.state = TaskDone
+	logical.outputHost = tt.id
+	logical.finished = c.clock.Now()
+	if logical.started == 0 && m.started > 0 {
+		logical.started = m.started
+	}
+	logical.preCombineMB = m.preCombineMB
+	logical.shuffleMB = m.shuffleMB
+	j := logical.job
+	j.mapsDone++
+	j.ShuffledMB += logical.shuffleMB
+	tt.mapInputDoneMB += logical.split.SizeMB
+	tt.mapOutputDoneMB += logical.shuffleMB
+
+	// Publish the output: each reducer owns its partition's share (the
+	// weight vector is uniform unless the job declares skew). After a
+	// re-execution, reducers that already received this map's output
+	// (durable at their end) are skipped.
+	if logical.shuffleMB > 0 && len(j.reduces) > 0 {
+		for _, r := range j.reduces {
+			if !r.got[logical] {
+				c.deliverShare(r, tt.id, logical.shuffleMB*j.partWeights[r.partition], logical)
+			}
+		}
+	}
+
+	c.emit(EvTaskDone, j.Spec.Name, fmt.Sprintf("map/%d", logical.id), tt.id, "")
+	if j.BarrierReached() {
+		j.BarrierAt = c.clock.Now()
+		c.emit(EvBarrier, j.Spec.Name, "", -1, "")
+		// Reducers blocked only on the barrier may now advance.
+		for _, r := range j.reduces {
+			if r.state == TaskRunning && r.phase == 0 {
+				c.checkShuffleDone(r)
+			}
+		}
+	}
+	c.jt.taskFreed(tt)
+	c.checkJobCompletion(j)
+}
+
+// deliverShare credits one map output partition share to a reducer.
+// Local shares (map output on the reducer's own node) are read from
+// disk during the merge and never cross the network, so they count as
+// fetched immediately; remote shares either top up a live flow or wait
+// in the pending queue for a free fetcher.
+func (c *Cluster) deliverShare(r *reduceTask, src int, mb float64, m *mapTask) {
+	if r.state == TaskDone {
+		panic(fmt.Sprintf("mr: delivering to finished reducer %s/%d", r.job.Spec.Name, r.partition))
+	}
+	if r.state == TaskRunning && r.tracker.id == src {
+		r.fetchedMB += mb
+		r.got[m] = true
+		return
+	}
+	if r.state == TaskRunning {
+		if sf, ok := r.flows[src]; ok {
+			c.topUpOp(sf.op, mb)
+			c.fabric.TopUp(sf.flow, mb)
+			r.flowMaps[src] = append(r.flowMaps[src], m)
+			return
+		}
+		r.pending[src] += mb
+		r.pendingMaps[src] = append(r.pendingMaps[src], m)
+		c.activateFetches(r)
+		return
+	}
+	// Not running yet: queue for launch time.
+	r.pending[src] += mb
+	r.pendingMaps[src] = append(r.pendingMaps[src], m)
+}
+
+// activateFetches starts transfers from pending sources until the
+// reducer's fetcher threads are all busy.
+func (c *Cluster) activateFetches(r *reduceTask) {
+	for src := 0; len(r.flows) < c.cfg.Fetchers; src++ {
+		if src >= c.cfg.Workers {
+			return
+		}
+		mb, ok := r.pending[src]
+		if !ok || mb <= 0 {
+			continue
+		}
+		if _, live := r.flows[src]; live {
+			continue
+		}
+		delete(r.pending, src)
+		r.flowMaps[src] = r.pendingMaps[src]
+		delete(r.pendingMaps, src)
+		c.startFetch(r, src, mb)
+	}
+}
+
+// startFetch opens one capped shuffle flow from src to the reducer.
+func (c *Cluster) startFetch(r *reduceTask, src int, mb float64) {
+	flow := &netsim.Flow{
+		Src: src, Dst: r.tracker.id, RemainingMB: mb,
+		CapMBps: c.cfg.PerFetchMBps,
+		Label:   fmt.Sprintf("shuffle %s/r%d<-%d", r.job.Spec.Name, r.partition, src),
+	}
+	c.fabric.Add(flow)
+	sf := &shuffleFlow{flow: flow}
+	tt := r.tracker
+	sf.op = c.addOp(flow.Label, mb, flow.Rate, func() {
+		c.fabric.Remove(flow)
+		delete(r.flows, src)
+		for _, m := range r.flowMaps[src] {
+			r.got[m] = true
+		}
+		delete(r.flowMaps, src)
+		r.fetchedMB += sf.op.total
+		tt.shuffleDoneMB += sf.op.total
+		c.activateFetches(r)
+		c.checkShuffleDone(r)
+	})
+	r.flows[src] = sf
+}
+
+// launchReduce starts reduce task r on tracker tt.
+func (c *Cluster) launchReduce(tt *TaskTracker, r *reduceTask) {
+	if r.state != TaskPending {
+		panic(fmt.Sprintf("mr: launching reduce %s/%d in state %v", r.job.Spec.Name, r.partition, r.state))
+	}
+	prof := r.job.Spec.Profile
+	r.state = TaskRunning
+	r.tracker = tt
+	r.phase = 0
+	tt.runningReduces[r] = struct{}{}
+	c.emit(EvTaskStarted, r.job.Spec.Name, fmt.Sprintf("reduce/%d", r.partition), tt.id, "")
+	if r.job.Started < 0 {
+		r.job.Started = c.clock.Now()
+	}
+
+	// The shuffle infrastructure occupies the node: copier threads and
+	// merge buffers, modelled as a phantom activity.
+	r.phantom = &resource.Activity{
+		Kind:        resource.Phantom,
+		Weight:      prof.FetcherWeight * float64(c.cfg.Fetchers),
+		Pressure:    prof.FetcherPressure,
+		FootprintMB: prof.ReduceFootprint,
+		Label:       fmt.Sprintf("fetch %s/r%d", r.job.Spec.Name, r.partition),
+	}
+	tt.node.Add(r.phantom)
+
+	// Any shares committed before launch: local ones are already on
+	// disk here, remote ones start fetching now.
+	if mb, ok := r.pending[tt.id]; ok {
+		delete(r.pending, tt.id)
+		for _, m := range r.pendingMaps[tt.id] {
+			r.got[m] = true
+		}
+		delete(r.pendingMaps, tt.id)
+		r.fetchedMB += mb
+	}
+	c.activateFetches(r)
+	c.checkShuffleDone(r)
+}
+
+// checkShuffleDone advances a shuffling reducer past the barrier once
+// every map has committed and every byte has been fetched.
+func (c *Cluster) checkShuffleDone(r *reduceTask) {
+	if r.state != TaskRunning || r.phase != 0 {
+		return
+	}
+	if !r.job.BarrierReached() || !r.shuffleSettled() {
+		return
+	}
+	r.tracker.node.Remove(r.phantom)
+	r.phantom = nil
+	c.startReduceSort(r)
+}
+
+// startReduceSort begins the reduce-side merge sort.
+func (c *Cluster) startReduceSort(r *reduceTask) {
+	prof := r.job.Spec.Profile
+	tt := r.tracker
+	r.phase = 1
+	r.pendingOps = 0
+
+	// With compression, fetchedMB is compressed bytes; merge and the
+	// reduce function operate on the uncompressed volume.
+	uncompressed := r.fetchedMB
+	if c.cfg.CompressShuffle {
+		uncompressed = r.fetchedMB / c.cfg.CompressionRatio
+	}
+	mergeWork := uncompressed * prof.MergeCPUPerMB
+	if c.cfg.CompressShuffle {
+		mergeWork += uncompressed * c.cfg.DecompressCPUPerMB
+	}
+	if mergeWork > 0 {
+		r.pendingOps++
+		r.cpuAct = &resource.Activity{
+			Kind:        resource.CPU,
+			Remaining:   1,
+			Weight:      1,
+			Pressure:    r.job.mapPressure,
+			FootprintMB: prof.ReduceFootprint,
+			Label:       fmt.Sprintf("rsort %s/r%d", r.job.Spec.Name, r.partition),
+		}
+		tt.node.Add(r.cpuAct)
+		r.sortOp = c.addOp(r.cpuAct.Label, mergeWork, r.cpuAct.Rate, func() {
+			tt.node.Remove(r.cpuAct)
+			r.cpuAct = nil
+			c.reducePhaseOpDone(r)
+		})
+	}
+	if r.fetchedMB > 0 {
+		r.pendingOps++
+		r.diskAct = &resource.Activity{
+			Kind:      resource.Disk,
+			Remaining: 1,
+			Weight:    0.2,
+			Label:     fmt.Sprintf("rmerge %s/r%d", r.job.Spec.Name, r.partition),
+		}
+		tt.node.Add(r.diskAct)
+		r.mergeOp = c.addOp(r.diskAct.Label, r.fetchedMB, r.diskAct.Rate, func() {
+			tt.node.Remove(r.diskAct)
+			r.diskAct = nil
+			c.reducePhaseOpDone(r)
+		})
+	}
+	if r.pendingOps == 0 {
+		c.startReduceCompute(r)
+	}
+}
+
+// reducePhaseOpDone advances the reducer when its phase ops retire.
+func (c *Cluster) reducePhaseOpDone(r *reduceTask) {
+	r.pendingOps--
+	if r.pendingOps > 0 {
+		return
+	}
+	switch r.phase {
+	case 1:
+		c.startReduceCompute(r)
+	case 2:
+		c.finishReduce(r)
+	default:
+		panic(fmt.Sprintf("mr: reduce %s/%d finished unknown phase %d", r.job.Spec.Name, r.partition, r.phase))
+	}
+}
+
+// startReduceCompute begins the user reduce function and output write.
+func (c *Cluster) startReduceCompute(r *reduceTask) {
+	prof := r.job.Spec.Profile
+	tt := r.tracker
+	r.phase = 2
+	r.pendingOps = 0
+
+	redVolume := r.fetchedMB
+	if c.cfg.CompressShuffle {
+		redVolume = r.fetchedMB / c.cfg.CompressionRatio
+	}
+	redWork := redVolume * prof.ReduceCPUPerMB * c.rng.Jitter(c.cfg.Jitter)
+	if redWork > 0 {
+		r.pendingOps++
+		r.cpuAct = &resource.Activity{
+			Kind:        resource.CPU,
+			Remaining:   1,
+			Weight:      1,
+			Pressure:    r.job.mapPressure,
+			FootprintMB: prof.ReduceFootprint,
+			Label:       fmt.Sprintf("reduce %s/r%d", r.job.Spec.Name, r.partition),
+		}
+		tt.node.Add(r.cpuAct)
+		r.redOp = c.addOp(r.cpuAct.Label, redWork, r.cpuAct.Rate, func() {
+			tt.node.Remove(r.cpuAct)
+			r.cpuAct = nil
+			c.reducePhaseOpDone(r)
+		})
+	}
+	outMB := redVolume * prof.OutputRatio
+	if outMB > 0 {
+		r.pendingOps++
+		r.diskAct = &resource.Activity{
+			Kind:      resource.Disk,
+			Remaining: 1,
+			Weight:    0.2,
+			Label:     fmt.Sprintf("rout %s/r%d", r.job.Spec.Name, r.partition),
+		}
+		tt.node.Add(r.diskAct)
+		r.writeOp = c.addOp(r.diskAct.Label, outMB, r.diskAct.Rate, func() {
+			tt.node.Remove(r.diskAct)
+			r.diskAct = nil
+			c.reducePhaseOpDone(r)
+		})
+		// HDFS write pipeline: each extra replica streams the output
+		// over the fabric to another live node and lands on its disk.
+		// The pipeline is fluid (not store-and-forward), so each hop is
+		// an independent flow+disk pair gating task completion.
+		for extra := 1; extra < c.cfg.OutputReplication; extra++ {
+			target := c.pickReplicaTarget(tt.id, extra)
+			if target < 0 {
+				break // not enough live nodes; degrade like HDFS does
+			}
+			r.pendingOps++
+			flow := &netsim.Flow{Src: tt.id, Dst: target, RemainingMB: outMB,
+				Label: fmt.Sprintf("repl %s/r%d->%d", r.job.Spec.Name, r.partition, target)}
+			c.fabric.Add(flow)
+			remoteDisk := &resource.Activity{Kind: resource.Disk, Remaining: 1, Weight: 0.2,
+				Label: fmt.Sprintf("repl-disk %s/r%d@%d", r.job.Spec.Name, r.partition, target)}
+			c.nodes[target].Add(remoteDisk)
+			// The effective pipeline rate is min(network, remote disk);
+			// model it as the flow gated by the remote disk via a cap
+			// refresh is overkill — run the two ops in series-free
+			// parallel and require both, which matches a fluid pipe
+			// whose slower stage dominates.
+			flowDone := false
+			diskDone := false
+			finish := func() {
+				if flowDone && diskDone {
+					c.reducePhaseOpDone(r)
+				}
+			}
+			fOp := c.addOp(flow.Label, outMB, flow.Rate, func() {
+				c.fabric.Remove(flow)
+				flowDone = true
+				finish()
+			})
+			dOp := c.addOp(remoteDisk.Label, outMB, remoteDisk.Rate, func() {
+				c.nodes[target].Remove(remoteDisk)
+				diskDone = true
+				finish()
+			})
+			// Both ops gate completion but count as ONE pendingOp: the
+			// pipeline finishes when its slower stage drains. Track the
+			// pieces so a writer-side failure can tear them down.
+			r.pipeFlows = append(r.pipeFlows, flow)
+			r.pipeActs = append(r.pipeActs, remoteDisk)
+			r.pipeNodes = append(r.pipeNodes, target)
+			r.pipeOps = append(r.pipeOps, fOp, dOp)
+		}
+	}
+	if r.pendingOps == 0 {
+		c.finishReduce(r)
+	}
+}
+
+// pickReplicaTarget chooses the extra-th replica node for an output
+// written at node src: the HDFS policy's spirit — first extra replica
+// off-node (and off-rack when possible), deterministic per (src, extra).
+func (c *Cluster) pickReplicaTarget(src, extra int) int {
+	n := c.cfg.Workers
+	for probe := 1; probe < n; probe++ {
+		cand := (src + extra*7 + probe - 1) % n
+		if cand != src && !c.trackers[cand].failed {
+			return cand
+		}
+	}
+	return -1
+}
+
+// finishReduce retires the task and checks the job for completion.
+func (c *Cluster) finishReduce(r *reduceTask) {
+	tt := r.tracker
+	r.state = TaskDone
+	delete(tt.runningReduces, r)
+	r.job.reducesDone++
+	c.emit(EvTaskDone, r.job.Spec.Name, fmt.Sprintf("reduce/%d", r.partition), tt.id, "")
+	c.jt.taskFreed(tt)
+	c.checkJobCompletion(r.job)
+}
+
+// checkJobCompletion records completion milestones and may stop the
+// simulation once the last job drains.
+func (c *Cluster) checkJobCompletion(j *Job) {
+	if !j.Finished() || j.FinishedAt >= 0 {
+		return
+	}
+	j.FinishedAt = c.clock.Now()
+	j.Progress.Sample(c.clock.Now(), 100, 100)
+	c.emit(EvJobFinished, j.Spec.Name, "", -1, "")
+	c.jt.retire(j)
+	c.activeJobs--
+	if c.activeJobs == 0 && c.jobsToSubmit == 0 {
+		c.shutdown()
+	}
+}

@@ -1,0 +1,298 @@
+package mr
+
+import (
+	"fmt"
+	"sort"
+
+	"smapreduce/internal/resource"
+	"smapreduce/internal/sim"
+	"smapreduce/internal/stats"
+)
+
+// TaskTracker is one worker daemon: it owns the node's working slots,
+// launches tasks into them, reports statistics to the job tracker on
+// every heartbeat, and applies slot-change commands lazily.
+type TaskTracker struct {
+	c    *Cluster
+	id   int
+	node *resource.Node
+
+	// Slot targets. The lazy changer never kills a running task: when a
+	// target drops below the running count, launches simply stop until
+	// enough tasks finish on their own (§III-D).
+	mapTarget    int
+	reduceTarget int
+
+	runningMaps    map[*mapTask]struct{}
+	runningReduces map[*reduceTask]struct{}
+
+	// Cumulative counters and EWMA rate estimates sampled at heartbeats.
+	mapInputDoneMB  float64
+	mapOutputDoneMB float64
+	shuffleDoneMB   float64
+
+	mapInputRate  *stats.EWMA // MB/s of map input processed
+	mapOutputRate *stats.EWMA // MB/s of shuffle-bound map output produced
+	shuffleRate   *stats.EWMA // MB/s of shuffle bytes received
+
+	failed   bool
+	draining bool
+
+	lastHB            float64
+	lastMapInputMB    float64
+	lastMapOutputMB   float64
+	lastShuffleMB     float64
+	hbEvent           *sim.Event
+	disturbance       *resource.Activity
+	disturbanceExpiry *sim.Event
+}
+
+func newTaskTracker(c *Cluster, id int, node *resource.Node) *TaskTracker {
+	return &TaskTracker{
+		c:              c,
+		id:             id,
+		node:           node,
+		mapTarget:      c.cfg.MapSlots,
+		reduceTarget:   c.cfg.ReduceSlots,
+		runningMaps:    make(map[*mapTask]struct{}),
+		runningReduces: make(map[*reduceTask]struct{}),
+		mapInputRate:   stats.NewEWMA(0.3),
+		mapOutputRate:  stats.NewEWMA(0.3),
+		shuffleRate:    stats.NewEWMA(0.3),
+	}
+}
+
+// ID returns the tracker's node ID.
+func (tt *TaskTracker) ID() int { return tt.id }
+
+// MapSlots returns the current map slot target.
+func (tt *TaskTracker) MapSlots() int { return tt.mapTarget }
+
+// ReduceSlots returns the current reduce slot target.
+func (tt *TaskTracker) ReduceSlots() int { return tt.reduceTarget }
+
+// RunningMaps returns the number of occupied map slots.
+func (tt *TaskTracker) RunningMaps() int { return len(tt.runningMaps) }
+
+// RunningReduces returns the number of occupied reduce slots.
+func (tt *TaskTracker) RunningReduces() int { return len(tt.runningReduces) }
+
+// Failed reports whether the tracker has been killed by fault injection.
+func (tt *TaskTracker) Failed() bool { return tt.failed }
+
+// Draining reports whether the tracker is being decommissioned.
+func (tt *TaskTracker) Draining() bool { return tt.draining }
+
+// freeMapSlots reports launchable map slots under the active policy.
+// Under YARN, once the head job passes its reduce slow-start the node
+// reserves the configured reduce-container share so the reduce ramp is
+// not starved by map priority (the AM would otherwise never see its
+// reduce requests granted); before that point maps may fill the whole
+// memory pool — the early map burst that distinguishes YARN from V1.
+func (tt *TaskTracker) freeMapSlots() int {
+	if tt.c.cfg.Policy == YARN {
+		mem := tt.freeMemMB()
+		if tt.c.jt.reduceDemandExists() {
+			reserve := float64(tt.c.cfg.ReduceSlots-len(tt.runningReduces)) * tt.c.cfg.ReduceContainerMB
+			if reserve > 0 {
+				mem -= reserve
+			}
+		}
+		free := int(mem / tt.c.cfg.MapContainerMB)
+		if free < 0 {
+			return 0
+		}
+		return free
+	}
+	free := tt.mapTarget - len(tt.runningMaps)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// freeReduceSlots reports launchable reduce slots under the active
+// policy. Under YARN this must be called after map assignment so maps
+// keep their priority claim on the memory pool.
+func (tt *TaskTracker) freeReduceSlots() int {
+	if tt.c.cfg.Policy == YARN {
+		free := int(tt.freeMemMB() / tt.c.cfg.ReduceContainerMB)
+		if free < 0 {
+			return 0
+		}
+		return free
+	}
+	free := tt.reduceTarget - len(tt.runningReduces)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// freeMemMB is the YARN policy's unallocated container memory.
+func (tt *TaskTracker) freeMemMB() float64 {
+	capMB := float64(tt.c.cfg.MapSlots)*tt.c.cfg.MapContainerMB +
+		float64(tt.c.cfg.ReduceSlots)*tt.c.cfg.ReduceContainerMB
+	used := float64(len(tt.runningMaps))*tt.c.cfg.MapContainerMB +
+		float64(len(tt.runningReduces))*tt.c.cfg.ReduceContainerMB
+	return capMB - used
+}
+
+// setTargets applies a slot-change command. The disturbance models the
+// transient rate dip the paper observes right after a change; the lazy
+// semantics are inherent in how freeMapSlots treats excess runners.
+func (tt *TaskTracker) setTargets(maps, reduces int) {
+	if maps == tt.mapTarget && reduces == tt.reduceTarget {
+		return
+	}
+	if maps <= 0 || reduces <= 0 {
+		panic(fmt.Sprintf("mr: tracker %d given non-positive slot targets %d/%d", tt.id, maps, reduces))
+	}
+	tt.mapTarget = maps
+	tt.reduceTarget = reduces
+	tt.c.emit(EvSlotChange, "", "", tt.id, fmt.Sprintf("%d/%d", maps, reduces))
+	tt.applyDisturbance()
+	if tt.c.cfg.EagerSlotChange {
+		tt.killSurplusMaps()
+	}
+}
+
+// killSurplusMaps implements the eager (non-paper) slot-shrink policy:
+// the newest running map attempts beyond the target are killed and
+// re-queued immediately, paying the re-execution cost the lazy policy
+// avoids (§III-D). Reduce tasks are never killed — re-running a
+// reducer forfeits its fetched data, which no policy would choose.
+func (tt *TaskTracker) killSurplusMaps() {
+	surplus := len(tt.runningMaps) - tt.mapTarget
+	if surplus <= 0 {
+		return
+	}
+	victims := make([]*mapTask, 0, len(tt.runningMaps))
+	for m := range tt.runningMaps {
+		victims = append(victims, m)
+	}
+	// Kill the least-progressed attempts first (cheapest to redo),
+	// breaking ties by task id for determinism.
+	sort.Slice(victims, func(i, k int) bool {
+		pi, pk := victims[i].progressFraction(), victims[k].progressFraction()
+		if pi != pk {
+			return pi < pk
+		}
+		if victims[i].job.ID != victims[k].job.ID {
+			return victims[i].job.ID < victims[k].job.ID
+		}
+		return victims[i].id < victims[k].id
+	})
+	for _, m := range victims[:surplus] {
+		tt.c.abortMap(m)
+		tt.c.tracef("map %s/%d killed by eager slot change on tt%d", m.job.Spec.Name, m.id, tt.id)
+	}
+}
+
+// applyDisturbance injects StabilizeTime seconds of extra pressure.
+func (tt *TaskTracker) applyDisturbance() {
+	c := tt.c
+	if c.cfg.SlotChangePressure <= 0 || c.cfg.StabilizeTime <= 0 {
+		return
+	}
+	if tt.disturbance != nil {
+		// Already perturbed: extend the window.
+		c.clock.Cancel(tt.disturbanceExpiry)
+	} else {
+		tt.disturbance = &resource.Activity{
+			Kind:     resource.Phantom,
+			Weight:   0,
+			Pressure: c.cfg.SlotChangePressure,
+			Label:    fmt.Sprintf("slot-change tt%d", tt.id),
+		}
+		tt.node.Add(tt.disturbance)
+	}
+	tt.disturbanceExpiry = c.clock.After(c.cfg.StabilizeTime, "stabilize", func() {
+		c.Mutate(func() {
+			if tt.disturbance != nil {
+				tt.node.Remove(tt.disturbance)
+				tt.disturbance = nil
+			}
+		})
+	})
+}
+
+// heartbeat is the tracker's periodic exchange with the job tracker:
+// sample statistics, pick up slot commands, and receive new tasks.
+func (tt *TaskTracker) heartbeat() {
+	c := tt.c
+	now := c.clock.Now()
+
+	c.Mutate(func() {
+		// Sample window rates since the previous heartbeat. Mutate has
+		// settled all in-flight work, so op fractions are current.
+		if dt := now - tt.lastHB; dt > 0 {
+			tt.mapInputRate.Observe((tt.mapInputDoneMB + tt.inFlightMapInputMB() - tt.lastMapInputMB) / dt)
+			tt.mapOutputRate.Observe((tt.mapOutputDoneMB + tt.inFlightMapOutputMB() - tt.lastMapOutputMB) / dt)
+			tt.shuffleRate.Observe((tt.shuffleDoneMB + tt.inFlightShuffleMB() - tt.lastShuffleMB) / dt)
+		}
+		tt.lastHB = now
+		tt.lastMapInputMB = tt.mapInputDoneMB + tt.inFlightMapInputMB()
+		tt.lastMapOutputMB = tt.mapOutputDoneMB + tt.inFlightMapOutputMB()
+		tt.lastShuffleMB = tt.shuffleDoneMB + tt.inFlightShuffleMB()
+
+		// Heartbeat response: slot commands decided by the slot manager.
+		if c.cfg.Policy == Dynamic {
+			maps, reduces := c.jt.desiredSlots(tt.id)
+			tt.setTargets(maps, reduces)
+		}
+
+		// Task assignment for free slots.
+		c.jt.assign(tt)
+	})
+
+	tt.hbEvent = c.clock.After(c.cfg.HeartbeatPeriod, fmt.Sprintf("hb tt%d", tt.id), tt.heartbeat)
+}
+
+// inFlightMapInputMB estimates input MB consumed by still-running map
+// tasks, so window rates do not jump at task boundaries.
+func (tt *TaskTracker) inFlightMapInputMB() float64 {
+	s := 0.0
+	for m := range tt.runningMaps {
+		if m.phase == 0 && m.computeOp != nil {
+			s += m.split.SizeMB * m.computeOp.fraction()
+		} else if m.phase > 0 {
+			s += m.split.SizeMB
+		}
+	}
+	return s
+}
+
+// inFlightMapOutputMB mirrors inFlightMapInputMB for produced output.
+func (tt *TaskTracker) inFlightMapOutputMB() float64 {
+	s := 0.0
+	for m := range tt.runningMaps {
+		if m.phase == 0 && m.computeOp != nil {
+			s += m.shuffleMB * m.computeOp.fraction()
+		} else if m.phase > 0 {
+			s += m.shuffleMB
+		}
+	}
+	return s
+}
+
+// inFlightShuffleMB counts bytes moved by still-active fetch flows.
+func (tt *TaskTracker) inFlightShuffleMB() float64 {
+	s := 0.0
+	for r := range tt.runningReduces {
+		for _, sf := range r.flows {
+			s += sf.op.total - sf.op.remaining
+		}
+	}
+	return s
+}
+
+// stop cancels the tracker's periodic machinery at simulation shutdown.
+func (tt *TaskTracker) stop() {
+	tt.c.clock.Cancel(tt.hbEvent)
+	tt.c.clock.Cancel(tt.disturbanceExpiry)
+	if tt.disturbance != nil {
+		tt.node.Remove(tt.disturbance)
+		tt.disturbance = nil
+	}
+}

@@ -1,0 +1,416 @@
+// Package netsim models the cluster network as a fluid-flow fabric.
+//
+// Every node has a NIC with an egress and an ingress capacity; the
+// switch core is assumed non-blocking (the paper's 16-port GbE switch).
+// Active flows receive the max-min fair allocation computed by
+// progressive water-filling over the per-NIC link constraints.
+//
+// TCP incast: when many senders converge on one receiver, synchronised
+// losses and retransmission timeouts collapse goodput. The paper tunes
+// RTOmin from 200 ms to 1 ms to tame this; we model the residual effect
+// by shrinking a receiver's effective ingress capacity once its
+// concurrent flow count exceeds IncastThreshold. IncastSeverity ≈ 0
+// corresponds to the tuned cluster, larger values to an untuned one.
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes the fabric.
+type Config struct {
+	Nodes           int
+	EgressMBps      float64 // per-node NIC send capacity
+	IngressMBps     float64 // per-node NIC receive capacity
+	IncastThreshold int     // concurrent flows per receiver before goodput degrades
+	IncastSeverity  float64 // per-extra-flow degradation factor (0 disables)
+
+	// Rack oversubscription. When RackUplinkMBps > 0, nodes are grouped
+	// into racks of NodesPerRack and every inter-rack flow additionally
+	// crosses the source rack's uplink and the destination rack's
+	// downlink, each capped at RackUplinkMBps. Zero models the paper's
+	// single non-blocking switch.
+	NodesPerRack   int
+	RackUplinkMBps float64
+}
+
+// DefaultConfig mirrors the paper's GbE workbench with RTOmin tuned to
+// 1 ms: ≈117 MB/s TCP goodput on a 1 GbE NIC, mild residual incast.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:           nodes,
+		EgressMBps:      117,
+		IngressMBps:     117,
+		IncastThreshold: 24,
+		IncastSeverity:  0.01,
+	}
+}
+
+// Validate reports the first problem with the config, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("netsim: Nodes = %d, must be positive", c.Nodes)
+	case c.EgressMBps <= 0:
+		return fmt.Errorf("netsim: EgressMBps = %v, must be positive", c.EgressMBps)
+	case c.IngressMBps <= 0:
+		return fmt.Errorf("netsim: IngressMBps = %v, must be positive", c.IngressMBps)
+	case c.IncastThreshold < 0:
+		return fmt.Errorf("netsim: IncastThreshold = %d, must be >= 0", c.IncastThreshold)
+	case c.IncastSeverity < 0:
+		return fmt.Errorf("netsim: IncastSeverity = %v, must be >= 0", c.IncastSeverity)
+	case c.RackUplinkMBps < 0:
+		return fmt.Errorf("netsim: RackUplinkMBps = %v, must be >= 0", c.RackUplinkMBps)
+	case c.RackUplinkMBps > 0 && c.NodesPerRack <= 0:
+		return fmt.Errorf("netsim: RackUplinkMBps set but NodesPerRack = %d", c.NodesPerRack)
+	}
+	return nil
+}
+
+// racks returns the rack count, or 0 when rack modelling is off.
+func (c Config) racks() int {
+	if c.RackUplinkMBps <= 0 {
+		return 0
+	}
+	return (c.Nodes + c.NodesPerRack - 1) / c.NodesPerRack
+}
+
+// rackOf returns a node's rack index (only meaningful when racks are on).
+func (c Config) rackOf(node int) int { return node / c.NodesPerRack }
+
+// Flow is one fluid transfer between two nodes. RemainingMB may be
+// topped up while the flow is active (a shuffle fetch gains bytes every
+// time another map output commits).
+type Flow struct {
+	Src, Dst    int
+	RemainingMB float64
+	// CapMBps, when positive, bounds the flow's rate regardless of NIC
+	// headroom. Shuffle fetches use it to model the slow per-copier
+	// HTTP transfers of Hadoop's shuffle (disk seeks at the server,
+	// segment-at-a-time requests). Zero means uncapped.
+	CapMBps float64
+	Label   string
+
+	fabric *Fabric
+	rate   float64
+}
+
+// Rate returns the flow's current allocation in MB/s, valid until the
+// next membership change.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Fabric owns the set of active flows and allocates rates.
+//
+// Flows are kept in a slice in registration order so the water-filling
+// tie-breaks are deterministic run-to-run (map iteration order is not).
+type Fabric struct {
+	cfg   Config
+	flows []*Flow
+	pos   map[*Flow]int
+
+	outCount []int // active flows per sender
+	inCount  []int // active flows per receiver
+
+	// auto controls whether Add/Remove recompute immediately. The mr
+	// runtime batches many flow changes per event and recomputes once.
+	auto bool
+
+	// Scratch buffers reused across Recompute calls.
+	capBuf      []float64
+	cntBuf      []int
+	flowScratch []*Flow
+}
+
+// NewFabric builds a fabric. Invalid configs panic (static configuration).
+func NewFabric(cfg Config) *Fabric {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	links := 2*cfg.Nodes + 2*cfg.racks()
+	return &Fabric{
+		cfg:      cfg,
+		pos:      make(map[*Flow]int),
+		outCount: make([]int, cfg.Nodes),
+		inCount:  make([]int, cfg.Nodes),
+		auto:     true,
+		capBuf:   make([]float64, links),
+		cntBuf:   make([]int, links),
+	}
+}
+
+// SetAutoRecompute controls whether Add and Remove recompute rates
+// immediately (the default). Batch users disable it and call Recompute
+// once per batch; rates are stale in between.
+func (fb *Fabric) SetAutoRecompute(auto bool) {
+	fb.auto = auto
+	if auto {
+		fb.Recompute()
+	}
+}
+
+// Config returns the fabric configuration.
+func (fb *Fabric) Config() Config { return fb.cfg }
+
+// Len reports the number of active flows.
+func (fb *Fabric) Len() int { return len(fb.flows) }
+
+// InFlows reports the number of active flows converging on node dst.
+func (fb *Fabric) InFlows(dst int) int { return fb.inCount[dst] }
+
+// Add registers a flow and recomputes all rates. Loopback transfers
+// (Src == Dst) are legal and treated as local copies bounded only by
+// the NIC loopback, modelled as unconstrained: they get rate +Inf and
+// callers should complete them with their own local-copy cost; most
+// callers simply never create them (local shuffle partitions are read
+// from disk).
+func (fb *Fabric) Add(f *Flow) {
+	if f.fabric != nil {
+		panic(fmt.Sprintf("netsim: flow %q already registered", f.Label))
+	}
+	if f.Src < 0 || f.Src >= fb.cfg.Nodes || f.Dst < 0 || f.Dst >= fb.cfg.Nodes {
+		panic(fmt.Sprintf("netsim: flow %q endpoints (%d,%d) out of range", f.Label, f.Src, f.Dst))
+	}
+	if f.RemainingMB < 0 {
+		panic(fmt.Sprintf("netsim: flow %q negative remaining", f.Label))
+	}
+	if f.CapMBps < 0 {
+		panic(fmt.Sprintf("netsim: flow %q negative cap", f.Label))
+	}
+	f.fabric = fb
+	fb.pos[f] = len(fb.flows)
+	fb.flows = append(fb.flows, f)
+	if f.Src != f.Dst {
+		fb.outCount[f.Src]++
+		fb.inCount[f.Dst]++
+	}
+	if fb.auto {
+		fb.Recompute()
+	}
+}
+
+// Remove unregisters a flow. Removing a foreign or already-removed
+// flow is a no-op.
+func (fb *Fabric) Remove(f *Flow) {
+	if f.fabric != fb {
+		return
+	}
+	i := fb.pos[f]
+	last := len(fb.flows) - 1
+	fb.flows[i] = fb.flows[last]
+	fb.pos[fb.flows[i]] = i
+	fb.flows[last] = nil
+	fb.flows = fb.flows[:last]
+	delete(fb.pos, f)
+	f.fabric = nil
+	f.rate = 0
+	if f.Src != f.Dst {
+		fb.outCount[f.Src]--
+		fb.inCount[f.Dst]--
+	}
+	if fb.auto {
+		fb.Recompute()
+	}
+}
+
+// ingressCap returns node dst's effective receive capacity under the
+// incast model given its current converging flow count.
+func (fb *Fabric) ingressCap(dst int) float64 {
+	k := fb.inCount[dst]
+	cap := fb.cfg.IngressMBps
+	if extra := k - fb.cfg.IncastThreshold; extra > 0 && fb.cfg.IncastSeverity > 0 {
+		cap /= 1 + fb.cfg.IncastSeverity*float64(extra)
+	}
+	return cap
+}
+
+// Recompute reruns water-filling over the active flows. It is called
+// automatically on Add/Remove; callers that mutate IncastThreshold or
+// flow endpoints directly (tests) may call it explicitly.
+func (fb *Fabric) Recompute() {
+	n := fb.cfg.Nodes
+	racks := fb.cfg.racks()
+	links := 2*n + 2*racks
+	// Remaining capacity and unfixed-flow count per link. Links are
+	// indexed 0..n-1 for node egress, n..2n-1 for node ingress, then
+	// 2n..2n+R-1 for rack uplinks and 2n+R..2n+2R-1 for rack downlinks.
+	cap := fb.capBuf
+	cnt := fb.cntBuf
+	for i := 0; i < n; i++ {
+		cap[i] = fb.cfg.EgressMBps
+		cap[n+i] = fb.ingressCap(i)
+		cnt[i], cnt[n+i] = 0, 0
+	}
+	for r := 0; r < racks; r++ {
+		cap[2*n+r] = fb.cfg.RackUplinkMBps
+		cap[2*n+racks+r] = fb.cfg.RackUplinkMBps
+		cnt[2*n+r], cnt[2*n+racks+r] = 0, 0
+	}
+	unfixed := fb.makeUnfixed()
+	for len(unfixed) > 0 {
+		// Find the tightest link: min fair share among links with
+		// unfixed flows.
+		best, bestShare := -1, math.Inf(1)
+		for l := 0; l < links; l++ {
+			if cnt[l] == 0 {
+				continue
+			}
+			share := cap[l] / float64(cnt[l])
+			if share < bestShare {
+				best, bestShare = l, share
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Flows whose own cap is below the tightest fair share are
+		// bottlenecked by their caps, not by any link: fix ALL of them
+		// this round (each deduction only loosens the remaining links)
+		// and water-fill the rest with the leftover.
+		fixedCapped := false
+		next := unfixed[:0]
+		for _, f := range unfixed {
+			if f.CapMBps > 0 && f.CapMBps < bestShare {
+				f.rate = f.CapMBps
+				fb.deduct(cap, cnt, f, f.rate)
+				fixedCapped = true
+			} else {
+				next = append(next, f)
+			}
+		}
+		if fixedCapped {
+			unfixed = next
+			continue
+		}
+		// Fix every unfixed flow crossing the tightest link at the
+		// fair share; deduct from all its links.
+		next = unfixed[:0]
+		for _, f := range unfixed {
+			if fb.crossesLink(f, best) {
+				f.rate = bestShare
+				fb.deduct(cap, cnt, f, bestShare)
+			} else {
+				next = append(next, f)
+			}
+		}
+		// Numerical guard: capacities must never go (meaningfully)
+		// negative.
+		for l := range cap {
+			if cap[l] < 0 {
+				if cap[l] < -1e-6 {
+					panic(fmt.Sprintf("netsim: link %d capacity went negative: %v", l, cap[l]))
+				}
+				cap[l] = 0
+			}
+		}
+		unfixed = next
+	}
+}
+
+// TopUp adds mb to the flow's remaining volume. The caller is
+// responsible for settling elapsed transfer first (the mr runtime does
+// this inside its mutation scope). Negative mb panics.
+func (fb *Fabric) TopUp(f *Flow, mb float64) {
+	if mb < 0 {
+		panic(fmt.Sprintf("netsim: TopUp %q with negative volume %v", f.Label, mb))
+	}
+	if f.fabric != fb {
+		panic(fmt.Sprintf("netsim: TopUp on foreign flow %q", f.Label))
+	}
+	f.RemainingMB += mb
+}
+
+// makeUnfixed seeds the water-filling round: loopbacks get infinite
+// rate immediately, everything else joins the unfixed set and its link
+// counters.
+func (fb *Fabric) makeUnfixed() []*Flow {
+	n := fb.cfg.Nodes
+	racks := fb.cfg.racks()
+	unfixed := fb.scratchFlows()
+	for _, f := range fb.flows {
+		if f.Src == f.Dst {
+			f.rate = math.Inf(1)
+			continue
+		}
+		fb.cntBuf[f.Src]++
+		fb.cntBuf[n+f.Dst]++
+		if racks > 0 {
+			if rs, rd := fb.cfg.rackOf(f.Src), fb.cfg.rackOf(f.Dst); rs != rd {
+				fb.cntBuf[2*n+rs]++
+				fb.cntBuf[2*n+racks+rd]++
+			}
+		}
+		unfixed = append(unfixed, f)
+	}
+	return unfixed
+}
+
+// crossesLink reports whether flow f uses link l.
+func (fb *Fabric) crossesLink(f *Flow, l int) bool {
+	n := fb.cfg.Nodes
+	racks := fb.cfg.racks()
+	switch {
+	case l < n:
+		return f.Src == l
+	case l < 2*n:
+		return f.Dst == l-n
+	default:
+		rs, rd := fb.cfg.rackOf(f.Src), fb.cfg.rackOf(f.Dst)
+		if rs == rd {
+			return false
+		}
+		if l < 2*n+racks {
+			return rs == l-2*n
+		}
+		return rd == l-2*n-racks
+	}
+}
+
+// deduct removes a fixed flow's rate and presence from all its links.
+func (fb *Fabric) deduct(cap []float64, cnt []int, f *Flow, rate float64) {
+	n := fb.cfg.Nodes
+	racks := fb.cfg.racks()
+	cap[f.Src] -= rate
+	cap[n+f.Dst] -= rate
+	cnt[f.Src]--
+	cnt[n+f.Dst]--
+	if racks > 0 {
+		if rs, rd := fb.cfg.rackOf(f.Src), fb.cfg.rackOf(f.Dst); rs != rd {
+			cap[2*n+rs] -= rate
+			cap[2*n+racks+rd] -= rate
+			cnt[2*n+rs]--
+			cnt[2*n+racks+rd]--
+		}
+	}
+}
+
+// scratchFlows returns a reusable zero-length flow buffer.
+func (fb *Fabric) scratchFlows() []*Flow {
+	if cap(fb.flowScratch) < len(fb.flows) {
+		fb.flowScratch = make([]*Flow, 0, len(fb.flows)*2)
+	}
+	return fb.flowScratch[:0]
+}
+
+// TotalIngress returns the sum of rates currently converging on dst,
+// a diagnostic used by the shuffle-rate statistics.
+func (fb *Fabric) TotalIngress(dst int) float64 {
+	s := 0.0
+	for _, f := range fb.flows {
+		if f.Dst == dst && f.Src != f.Dst {
+			s += f.rate
+		}
+	}
+	return s
+}
+
+// TotalRate returns the sum of all flow rates (MB/s) in the fabric.
+func (fb *Fabric) TotalRate() float64 {
+	s := 0.0
+	for _, f := range fb.flows {
+		if f.Src != f.Dst {
+			s += f.rate
+		}
+	}
+	return s
+}

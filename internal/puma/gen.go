@@ -1,0 +1,111 @@
+package puma
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"smapreduce/internal/sim"
+)
+
+// Synthetic dataset generators for the real-engine examples and the
+// pumagen CLI. Streams are deterministic per seed.
+
+// vocabulary is a small word pool; GenText skews draws toward the low
+// indices for a Zipf-ish frequency profile so downstream word counts
+// have interesting shapes.
+var vocabulary = []string{
+	"the", "of", "and", "to", "data", "map", "reduce", "cluster", "slot",
+	"task", "shuffle", "barrier", "tracker", "node", "network", "disk",
+	"memory", "thrashing", "throughput", "hadoop", "yarn", "runtime",
+	"dynamic", "allocation", "resource", "workload", "benchmark",
+}
+
+// GenText writes lines of wordsPerLine pseudo-words to w.
+func GenText(w io.Writer, seed uint64, lines, wordsPerLine int) error {
+	if lines < 0 || wordsPerLine <= 0 {
+		return fmt.Errorf("puma: GenText lines=%d words=%d invalid", lines, wordsPerLine)
+	}
+	rng := sim.NewRand(seed)
+	bw := bufio.NewWriter(w)
+	for i := 0; i < lines; i++ {
+		for j := 0; j < wordsPerLine; j++ {
+			if j > 0 {
+				if _, err := bw.WriteString(" "); err != nil {
+					return err
+				}
+			}
+			// Square the uniform draw to favour common words.
+			u := rng.Float64()
+			idx := int(u * u * float64(len(vocabulary)))
+			if idx >= len(vocabulary) {
+				idx = len(vocabulary) - 1
+			}
+			if _, err := bw.WriteString(vocabulary[idx]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// GenRatings writes "movieNNNN<TAB>rating" lines to w, ratings uniform
+// in 1..5 over the given movie population.
+func GenRatings(w io.Writer, seed uint64, lines, movies int) error {
+	if lines < 0 || movies <= 0 {
+		return fmt.Errorf("puma: GenRatings lines=%d movies=%d invalid", lines, movies)
+	}
+	rng := sim.NewRand(seed)
+	bw := bufio.NewWriter(w)
+	for i := 0; i < lines; i++ {
+		if _, err := fmt.Fprintf(bw, "movie%04d\t%d\n", rng.Intn(movies), 1+rng.Intn(5)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// GenEdges writes "src dst" directed-edge lines over a vertex
+// population, for the adjacency-list job. Self-loops are skipped and
+// regenerated, so exactly `lines` edges are emitted.
+func GenEdges(w io.Writer, seed uint64, lines, vertices int) error {
+	if lines < 0 || vertices < 2 {
+		return fmt.Errorf("puma: GenEdges lines=%d vertices=%d invalid", lines, vertices)
+	}
+	rng := sim.NewRand(seed)
+	bw := bufio.NewWriter(w)
+	for i := 0; i < lines; i++ {
+		src := rng.Intn(vertices)
+		dst := rng.Intn(vertices)
+		for dst == src {
+			dst = rng.Intn(vertices)
+		}
+		if _, err := fmt.Fprintf(bw, "v%d v%d\n", src, dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// GenPoints writes "x,y" 2-D points to w, drawn around k cluster
+// centres laid out on a circle — input for the k-means example job.
+func GenPoints(w io.Writer, seed uint64, points, k int) error {
+	if points < 0 || k <= 0 {
+		return fmt.Errorf("puma: GenPoints points=%d k=%d invalid", points, k)
+	}
+	rng := sim.NewRand(seed)
+	bw := bufio.NewWriter(w)
+	for i := 0; i < points; i++ {
+		c := rng.Intn(k)
+		// Centres at (10c, 10c); noise in [-2, 2).
+		x := float64(10*c) + 4*rng.Float64() - 2
+		y := float64(10*c) + 4*rng.Float64() - 2
+		if _, err := fmt.Fprintf(bw, "%.3f,%.3f\n", x, y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

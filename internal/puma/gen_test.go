@@ -1,0 +1,108 @@
+package puma
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenTextDeterministicAndShaped(t *testing.T) {
+	var a, b strings.Builder
+	if err := GenText(&a, 7, 100, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenText(&b, 7, 100, 8); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different corpora")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(strings.Fields(l)) != 8 {
+			t.Fatalf("line has %d words: %q", len(strings.Fields(l)), l)
+		}
+	}
+	// Common words dominate (the Zipf skew).
+	counts := map[string]int{}
+	for _, w := range strings.Fields(a.String()) {
+		counts[w]++
+	}
+	if counts["the"] <= counts["benchmark"] {
+		t.Fatalf("skew missing: the=%d benchmark=%d", counts["the"], counts["benchmark"])
+	}
+}
+
+func TestGenTextRejectsBadArgs(t *testing.T) {
+	var b strings.Builder
+	if err := GenText(&b, 1, -1, 8); err == nil {
+		t.Fatal("negative lines accepted")
+	}
+	if err := GenText(&b, 1, 10, 0); err == nil {
+		t.Fatal("zero words accepted")
+	}
+}
+
+func TestGenRatingsFormat(t *testing.T) {
+	var b strings.Builder
+	if err := GenRatings(&b, 3, 50, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		parts := strings.Split(l, "\t")
+		if len(parts) != 2 || !strings.HasPrefix(parts[0], "movie") {
+			t.Fatalf("bad line %q", l)
+		}
+		if parts[1] < "1" || parts[1] > "5" {
+			t.Fatalf("rating out of range: %q", l)
+		}
+	}
+	if err := GenRatings(&b, 1, 5, 0); err == nil {
+		t.Fatal("zero movies accepted")
+	}
+}
+
+func TestGenEdgesNoSelfLoops(t *testing.T) {
+	var b strings.Builder
+	if err := GenEdges(&b, 5, 200, 8); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		f := strings.Fields(l)
+		if len(f) != 2 || f[0] == f[1] {
+			t.Fatalf("bad edge %q", l)
+		}
+	}
+	if err := GenEdges(&b, 1, 5, 1); err == nil {
+		t.Fatal("single-vertex graph accepted")
+	}
+}
+
+func TestGenPointsClustered(t *testing.T) {
+	var b strings.Builder
+	if err := GenPoints(&b, 11, 300, 3); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 300 {
+		t.Fatalf("points = %d", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, ",") {
+			t.Fatalf("bad point %q", l)
+		}
+	}
+	if err := GenPoints(&b, 1, 10, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package puma
+
+import (
+	"testing"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestRegistryNonEmpty(t *testing.T) {
+	if len(All()) < 10 {
+		t.Fatalf("registry has %d profiles, want the PUMA suite (>= 10)", len(All()))
+	}
+}
+
+func TestGetKnownAndUnknown(t *testing.T) {
+	p, err := Get("terasort")
+	if err != nil || p.Name != "terasort" {
+		t.Fatalf("Get(terasort) = %+v, %v", p, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("Get(nope) succeeded")
+	}
+}
+
+func TestMustGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet(nope) did not panic")
+		}
+	}()
+	MustGet("nope")
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"grep", "terasort", "inverted-index", "histogram-ratings", "histogram-movies", "term-vector", "wordcount"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("benchmark %q missing from registry", want)
+		}
+	}
+}
+
+func TestPaperClassification(t *testing.T) {
+	// The classes the paper's narrative assigns.
+	cases := map[string]Class{
+		"grep":                  MapHeavy,
+		"histogram-ratings":     MapHeavy,
+		"histogram-movies":      MapHeavy,
+		"classification":        MapHeavy,
+		"wordcount":             MapHeavy, // tiny post-combine shuffle
+		"term-vector":           Medium,
+		"inverted-index":        Medium,
+		"sequence-count":        Medium,
+		"terasort":              ReduceHeavy,
+		"ranked-inverted-index": ReduceHeavy,
+		"self-join":             ReduceHeavy,
+	}
+	for name, want := range cases {
+		if got := MustGet(name).Class(); got != want {
+			t.Errorf("%s classified %v, want %v (shuffle ratio %v)", name, got, want, MustGet(name).ShuffleRatio())
+		}
+	}
+}
+
+func TestMapHeavyThrashLaterThanReduceHeavy(t *testing.T) {
+	// §II-B: "map-heavy jobs have a higher thrashing point than
+	// reduce-heavy jobs".
+	if MustGet("grep").MapPeakSlots <= MustGet("terasort").MapPeakSlots {
+		t.Fatal("grep must thrash later than terasort")
+	}
+	if MustGet("histogram-ratings").MapPeakSlots <= MustGet("ranked-inverted-index").MapPeakSlots {
+		t.Fatal("histogram-ratings must thrash later than ranked-inverted-index")
+	}
+}
+
+func TestShuffleRatioIncludesCombiner(t *testing.T) {
+	wc := MustGet("wordcount")
+	if wc.ShuffleRatio() >= wc.MapOutputRatio {
+		t.Fatal("combiner did not reduce wordcount's shuffle ratio")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if MapHeavy.String() != "map-heavy" || Medium.String() != "medium" || ReduceHeavy.String() != "reduce-heavy" {
+		t.Fatal("Class strings")
+	}
+	if Class(7).String() == "" {
+		t.Fatal("unknown class empty")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	good := MustGet("grep")
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.MapCPUPerMB = 0 },
+		func(p *Profile) { p.MapOutputRatio = -1 },
+		func(p *Profile) { p.CombineRatio = 0 },
+		func(p *Profile) { p.CombineRatio = 1.5 },
+		func(p *Profile) { p.SortCPUPerMB = -1 },
+		func(p *Profile) { p.MapFootprintMB = 0 },
+		func(p *Profile) { p.MapPeakSlots = 0.5 },
+		func(p *Profile) { p.MergeCPUPerMB = -1 },
+		func(p *Profile) { p.ReduceCPUPerMB = -1 },
+		func(p *Profile) { p.OutputRatio = -1 },
+		func(p *Profile) { p.ReduceFootprint = 0 },
+		func(p *Profile) { p.FetcherWeight = -1 },
+	}
+	for i, mutate := range mutations {
+		p := good
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	p := MustGet("grep")
+	p.MapCPUPerMB = 999
+	if MustGet("grep").MapCPUPerMB == 999 {
+		t.Fatal("Get returned a shared mutable profile")
+	}
+}

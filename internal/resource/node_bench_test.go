@@ -1,0 +1,28 @@
+package resource
+
+import "testing"
+
+// BenchmarkAddRemove measures activity churn with rate recompute, the
+// inner loop of every simulated task phase transition.
+func BenchmarkAddRemove(b *testing.B) {
+	n := NewNode(0, DefaultSpec())
+	for i := 0; i < 8; i++ {
+		n.Add(&Activity{Kind: CPU, Remaining: 1e9, Weight: 1, Pressure: 0.1, FootprintMB: 800})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := &Activity{Kind: CPU, Remaining: 1, Weight: 1, Pressure: 0.1, FootprintMB: 800}
+		n.Add(a)
+		n.Remove(a)
+	}
+}
+
+// BenchmarkThroughputCurve measures the analytic Fig.-1 curve used by
+// calibration and tests.
+func BenchmarkThroughputCurve(b *testing.B) {
+	n := NewNode(0, DefaultSpec())
+	for i := 0; i < b.N; i++ {
+		_ = n.ThroughputCurve(i%16+1, 0.1, 800)
+	}
+}

@@ -1,0 +1,226 @@
+// Package sim provides the discrete-event simulation core used by every
+// other simulated subsystem: a virtual clock, a cancellable event queue,
+// and a deterministic pseudo-random source.
+//
+// All simulated time is expressed in seconds as float64. The event loop
+// is strictly single-threaded; determinism is guaranteed by breaking
+// time ties with a monotonically increasing sequence number.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time = float64
+
+// Event is a scheduled callback. Events are created by Clock.Schedule
+// and may be cancelled before they fire.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index; -1 once popped or cancelled
+	fn     func()
+	label  string
+	cancel bool
+}
+
+// At reports the virtual time the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Label reports the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Clock owns virtual time and the pending event set.
+// The zero value is not usable; call NewClock.
+type Clock struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+	fired uint64
+}
+
+// NewClock returns a clock positioned at time zero with no pending events.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Fired reports how many events have executed so far.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// Pending reports how many events are scheduled and not yet cancelled.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, e := range c.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule registers fn to run at absolute virtual time at.
+// Scheduling in the past (before Now) panics: it always indicates a
+// logic error in a simulated component, and silently clamping would
+// hide causality bugs. Scheduling exactly at Now is allowed and runs
+// after all currently queued events at Now with smaller sequence.
+func (c *Clock) Schedule(at Time, label string, fn func()) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", label, at, c.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: schedule %q at non-finite time %v", label, at))
+	}
+	c.seq++
+	e := &Event{at: at, seq: c.seq, fn: fn, label: label}
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// After registers fn to run d seconds from now. Negative d panics.
+func (c *Clock) After(d Time, label string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+	}
+	return c.Schedule(c.now+d, label, fn)
+}
+
+// Cancel removes an event from the queue without firing it. Cancelling
+// an already-fired or already-cancelled event is a no-op, which lets
+// callers cancel unconditionally when tearing state down.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&c.queue, e.index)
+	e.index = -1
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving
+// its callback. If the event already fired or was cancelled, a fresh
+// event is scheduled instead. It returns the live event.
+func (c *Clock) Reschedule(e *Event, at Time) *Event {
+	fn, label := e.fn, e.label
+	c.Cancel(e)
+	return c.Schedule(at, label, fn)
+}
+
+// Step fires the single earliest pending event. It returns false when
+// the queue is empty.
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		e := heap.Pop(&c.queue).(*Event)
+		e.index = -1
+		if e.cancel {
+			continue
+		}
+		if e.at < c.now {
+			panic("sim: event queue time went backwards")
+		}
+		c.now = e.at
+		c.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or until the next event would
+// be after limit. It returns the number of events fired. A limit of
+// math.Inf(1) runs to quiescence.
+func (c *Clock) Run(limit Time) uint64 {
+	start := c.fired
+	for c.queue.Len() > 0 {
+		next := c.peek()
+		if next == nil {
+			break
+		}
+		if next.at > limit {
+			break
+		}
+		c.Step()
+	}
+	return c.fired - start
+}
+
+// RunUntilIdle fires events until no events remain. It guards against
+// runaway simulations with maxEvents; exceeding it panics, since an
+// unbounded event cascade is always a component bug.
+func (c *Clock) RunUntilIdle(maxEvents uint64) uint64 {
+	start := c.fired
+	for c.Step() {
+		if c.fired-start > maxEvents {
+			panic(fmt.Sprintf("sim: exceeded %d events without quiescing (last time %v)", maxEvents, c.now))
+		}
+	}
+	return c.fired - start
+}
+
+// Advance moves the clock forward by d without firing anything, used by
+// tests that need to position the clock. It panics if events are
+// pending before now+d, because skipping them would corrupt causality.
+func (c *Clock) Advance(d Time) {
+	target := c.now + d
+	if next := c.peek(); next != nil && next.at <= target {
+		panic(fmt.Sprintf("sim: Advance(%v) would skip event %q at %v", d, next.label, next.at))
+	}
+	c.now = target
+}
+
+func (c *Clock) peek() *Event {
+	for c.queue.Len() > 0 {
+		e := c.queue[0]
+		if e.cancel {
+			heap.Pop(&c.queue)
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// eventHeap orders by (time, seq). seq breaks ties deterministically in
+// scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleFire measures raw event queue throughput: one
+// schedule plus one fire per iteration at a queue depth of ~1000.
+func BenchmarkScheduleFire(b *testing.B) {
+	c := NewClock()
+	depth := 1000
+	for i := 0; i < depth; i++ {
+		c.Schedule(float64(i), "seed", func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	at := float64(depth)
+	for i := 0; i < b.N; i++ {
+		c.Schedule(at, "bench", func() {})
+		c.Step()
+		at++
+	}
+}
+
+// BenchmarkCancel measures cancel cost at depth ~1000.
+func BenchmarkCancel(b *testing.B) {
+	c := NewClock()
+	for i := 0; i < 1000; i++ {
+		c.Schedule(float64(i+1), "seed", func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := c.Schedule(2000, "victim", func() {})
+		c.Cancel(e)
+	}
+}
+
+// BenchmarkRandUint64 measures the PRNG.
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

@@ -1,0 +1,80 @@
+// Package smapreduce reproduces "SMapReduce: Optimising Resource
+// Allocation by Managing Working Slots at Runtime" (Liang & Lau, IPPS
+// 2015) as a self-contained Go system: a slot-based MapReduce runtime
+// with a YARN-style container baseline, a dynamic slot manager (the
+// paper's contribution), a discrete-event cluster substrate standing in
+// for the paper's 16-node workbench, and a real in-process MapReduce
+// engine whose worker pools are resized by the same algorithm.
+//
+// This top-level package is a thin facade over the implementation
+// packages; it exists so the quickstart examples and the benchmark
+// harness read naturally:
+//
+//	res, err := smapreduce.Run(smapreduce.SMapReduce, smapreduce.Options{},
+//	    smapreduce.Job("grep", 100<<10, 30))
+//
+// The implementation lives under internal/:
+//
+//	internal/core        — slot manager + engine facade (the contribution)
+//	internal/mr          — job tracker, task trackers, slots, tasks, barrier
+//	internal/resource    — CPU/disk/memory model with the thrashing curve
+//	internal/netsim      — max-min fair network fabric with incast penalty
+//	internal/dfs         — simulated HDFS (blocks, replication, locality)
+//	internal/puma        — PUMA benchmark workload profiles
+//	internal/localmr     — real in-process MapReduce engine
+//	internal/experiments — one harness per paper figure
+package smapreduce
+
+import (
+	"smapreduce/internal/core"
+	"smapreduce/internal/mr"
+	"smapreduce/internal/puma"
+)
+
+// Engine selects the system under test.
+type Engine = core.Engine
+
+// The three evaluated systems.
+const (
+	HadoopV1   = core.EngineHadoopV1
+	YARN       = core.EngineYARN
+	SMapReduce = core.EngineSMapReduce
+)
+
+// Options configures a run; the zero value reproduces the paper's
+// 16-worker workbench with 3 map + 2 reduce initial slots.
+type Options = core.Options
+
+// Result carries finished jobs and (for SMapReduce) the decision log.
+type Result = core.Result
+
+// ClusterConfig describes the simulated cluster.
+type ClusterConfig = mr.Config
+
+// JobSpec describes one job submission.
+type JobSpec = mr.JobSpec
+
+// SlotManagerConfig tunes the dynamic slot manager.
+type SlotManagerConfig = core.SlotManagerConfig
+
+// DefaultCluster returns the paper's workbench configuration.
+func DefaultCluster() ClusterConfig { return mr.DefaultConfig() }
+
+// Run executes jobs on the chosen engine over a simulated cluster.
+func Run(engine Engine, opts Options, jobs ...JobSpec) (*Result, error) {
+	return core.Run(engine, opts, jobs...)
+}
+
+// Job builds a job spec for a named PUMA benchmark. It panics on an
+// unknown benchmark name; use Benchmarks for the registry.
+func Job(benchmark string, inputMB float64, reduces int) JobSpec {
+	return JobSpec{
+		Name:    benchmark,
+		Profile: puma.MustGet(benchmark),
+		InputMB: inputMB,
+		Reduces: reduces,
+	}
+}
+
+// Benchmarks lists the available PUMA workload profiles.
+func Benchmarks() []string { return puma.Names() }

@@ -1,0 +1,55 @@
+package smapreduce_test
+
+import (
+	"testing"
+
+	smapreduce "smapreduce"
+)
+
+func TestFacadeJobBuilder(t *testing.T) {
+	j := smapreduce.Job("terasort", 1024, 8)
+	if j.Name != "terasort" || j.InputMB != 1024 || j.Reduces != 8 {
+		t.Fatalf("Job() = %+v", j)
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeJobPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown benchmark did not panic")
+		}
+	}()
+	smapreduce.Job("not-a-benchmark", 1, 1)
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := smapreduce.Benchmarks()
+	if len(names) < 10 {
+		t.Fatalf("only %d benchmarks", len(names))
+	}
+}
+
+func TestFacadeRunSmallJob(t *testing.T) {
+	cluster := smapreduce.DefaultCluster()
+	cluster.Workers = 4
+	cluster.Net.Nodes = 4
+	res, err := smapreduce.Run(smapreduce.SMapReduce,
+		smapreduce.Options{Cluster: cluster}, smapreduce.Job("grep", 1024, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 1 || !res.Jobs[0].Finished() {
+		t.Fatal("facade run incomplete")
+	}
+}
+
+func TestFacadeEngineConstants(t *testing.T) {
+	if smapreduce.HadoopV1.String() != "HadoopV1" ||
+		smapreduce.YARN.String() != "YARN" ||
+		smapreduce.SMapReduce.String() != "SMapReduce" {
+		t.Fatal("engine constants mismapped")
+	}
+}
