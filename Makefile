@@ -1,0 +1,39 @@
+# Developer entry points. The tier-1 gate the CI (and the next PR's
+# baseline) runs is `make check`: build, vet, full test suite.
+
+GO ?= go
+
+.PHONY: all build test check vet race bench-smoke bench-fluid clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 flow: everything must stay green.
+check: build vet test
+
+# race runs the runtime-heavy internal packages under the race
+# detector; the figure matrices are too slow for -race, the internals
+# are where the concurrency lives.
+race:
+	$(GO) test -race ./internal/...
+
+# bench-smoke proves the benchmark harness still runs end to end
+# (single iteration of a mid-weight figure), not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Figure4 -benchtime 1x .
+
+# bench-fluid regenerates BENCH_fluid.json (baseline vs incremental
+# fluid-rate resolver timings).
+bench-fluid:
+	$(GO) run ./cmd/smrbench -benchjson
+
+clean:
+	rm -f smapreduce.test mr.test netsim.test

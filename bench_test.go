@@ -24,7 +24,18 @@ func benchCfg() experiments.Config {
 	return cfg
 }
 
+// skipIfShort guards the benchmarks whose single iteration exceeds
+// ~100 ms of wall time, so `go test -short -bench .` stays a quick
+// smoke pass (the lighter figures and SingleJob still run).
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy figure benchmark; skipped with -short")
+	}
+}
+
 func BenchmarkFigure1Thrashing(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure1(benchCfg()); err != nil {
 			b.Fatal(err)
@@ -33,6 +44,7 @@ func BenchmarkFigure1Thrashing(b *testing.B) {
 }
 
 func BenchmarkFigure3ExecTime(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure3(benchCfg()); err != nil {
 			b.Fatal(err)
@@ -49,6 +61,7 @@ func BenchmarkFigure4Progress(b *testing.B) {
 }
 
 func BenchmarkFigure5SlotSweep(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure5(benchCfg()); err != nil {
 			b.Fatal(err)
@@ -57,6 +70,7 @@ func BenchmarkFigure5SlotSweep(b *testing.B) {
 }
 
 func BenchmarkFigure6InputScaling(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure6(benchCfg()); err != nil {
 			b.Fatal(err)
@@ -65,6 +79,7 @@ func BenchmarkFigure6InputScaling(b *testing.B) {
 }
 
 func BenchmarkFigure7Ablation(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure7(benchCfg()); err != nil {
 			b.Fatal(err)
@@ -171,6 +186,7 @@ func BenchmarkSpeculation(b *testing.B) {
 }
 
 func BenchmarkOversubscription(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Oversubscription(benchCfg()); err != nil {
 			b.Fatal(err)
@@ -179,6 +195,7 @@ func BenchmarkOversubscription(b *testing.B) {
 }
 
 func BenchmarkOracleGap(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.OracleGap(benchCfg()); err != nil {
 			b.Fatal(err)
@@ -203,6 +220,7 @@ func BenchmarkSkewSensitivity(b *testing.B) {
 }
 
 func BenchmarkTraceWorkload(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.TraceWorkload(benchCfg()); err != nil {
 			b.Fatal(err)

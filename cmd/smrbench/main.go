@@ -7,9 +7,11 @@
 //	smrbench                 # all figures at paper scale
 //	smrbench -fig 3 -fig 6   # a subset
 //	smrbench -scale 0.25     # quicker, smaller inputs
+//	smrbench -benchjson      # time the fluid resolver, write BENCH_fluid.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 
 	"smapreduce/internal/experiments"
 	"smapreduce/internal/metrics"
+	"smapreduce/internal/netsim"
 )
 
 // figList collects repeated -fig flags.
@@ -46,6 +49,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
 	charts := flag.Bool("charts", false, "print an ASCII chart under each figure that has one")
 	extras := flag.Bool("extras", false, "also run the beyond-the-paper experiments (ablations, heterogeneous cluster, schedulers, speculation)")
+	benchJSON := flag.Bool("benchjson", false, "time the fluid-rate resolver (figure macro-runs and netsim churn) and write BENCH_fluid.json instead of running figures")
 	flag.Var(&figs, "fig", "figure number to run (repeatable; default: all)")
 	flag.Parse()
 
@@ -59,6 +63,14 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Seed = *seed
 	cfg.Trials = *trials
+
+	if *benchJSON {
+		if err := writeBenchJSON(cfg, "BENCH_fluid.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type figOut struct {
 		table *metrics.Table
@@ -283,4 +295,139 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smrbench: failed: %s\n", strings.Join(failed, ", "))
 		os.Exit(1)
 	}
+}
+
+// Pre-optimisation ns/op for the macro benchmarks (`go test -bench` on
+// the eager resolver: full fabric Recompute plus settleAll/refreshAll
+// on every mutation scope), recorded on the reference machine before
+// the incremental dirty-set resolver landed. The churn micro-bench
+// needs no recorded constant — its baseline (from-scratch Recompute
+// per event) is still a live code path and is re-measured each run.
+const (
+	baselineFigure3NS = 1409544061.0
+	baselineFigure4NS = 177623788.0
+)
+
+type benchEntry struct {
+	Name     string  `json:"name"`
+	Unit     string  `json:"unit"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Speedup  float64 `json:"speedup"`
+	Note     string  `json:"note,omitempty"`
+}
+
+type benchReport struct {
+	Command string       `json:"command"`
+	Scale   float64      `json:"scale"`
+	Workers int          `json:"workers"`
+	Seed    uint64       `json:"seed"`
+	Results []benchEntry `json:"results"`
+}
+
+// writeBenchJSON times the fluid-rate resolver and records baseline
+// versus current ns/op: the two figure macro-runs the optimisation
+// targets, and the netsim churn micro-benchmark in both resolve modes.
+// The figure runs are pinned to the root benchmark suite's shape
+// (Scale 0.5, the shape the baseline constants were recorded at) so
+// baseline and current stay comparable regardless of -scale.
+func writeBenchJSON(cfg experiments.Config, path string) error {
+	cfg.Scale = 0.5
+	// One untimed warm-up run before each measurement so the numbers
+	// reflect steady state (allocator and GC heap sizing), matching
+	// what `go test -bench` reports over its iterations.
+	timeIt := func(fn func() error) (float64, error) {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start).Nanoseconds()), nil
+	}
+
+	fig3, err := timeIt(func() error { _, err := experiments.Figure3(cfg); return err })
+	if err != nil {
+		return fmt.Errorf("figure 3: %w", err)
+	}
+	fig4, err := timeIt(func() error { _, err := experiments.Figure4(cfg); return err })
+	if err != nil {
+		return fmt.Errorf("figure 4: %w", err)
+	}
+	churnFull := churnNSPerOp(false, 30_000)
+	churnInc := churnNSPerOp(true, 300_000)
+
+	report := benchReport{
+		Command: "smrbench -benchjson",
+		Scale:   cfg.Scale,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+		Results: []benchEntry{
+			{
+				Name: "Figure3ExecTime", Unit: "ns/op",
+				Baseline: baselineFigure3NS, Current: fig3,
+				Speedup: baselineFigure3NS / fig3,
+				Note:    "baseline recorded pre-optimisation (eager full resolve); current measured this run",
+			},
+			{
+				Name: "Figure4Progress", Unit: "ns/op",
+				Baseline: baselineFigure4NS, Current: fig4,
+				Speedup: baselineFigure4NS / fig4,
+				Note:    "baseline recorded pre-optimisation (eager full resolve); current measured this run",
+			},
+			{
+				Name: "netsim churn (remove+add+resolve)", Unit: "ns/op",
+				Baseline: churnFull, Current: churnInc,
+				Speedup: churnFull / churnInc,
+				Note:    "both sides measured this run: baseline = from-scratch Recompute per event, current = ResolveDirty",
+			},
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%-36s baseline %14.0f  current %14.0f  speedup %5.1fx\n",
+			r.Name, r.Baseline, r.Current, r.Speedup)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// churnNSPerOp reproduces the netsim BenchmarkChurn topology — 32
+// link-disjoint reducer fan-ins on a 128-node fabric — and times one
+// steady-state remove+add+resolve cycle.
+func churnNSPerOp(incremental bool, iters int) float64 {
+	fb := netsim.NewFabric(netsim.DefaultConfig(128))
+	fb.SetAutoRecompute(false)
+	var live []*netsim.Flow
+	for g := 0; g < 32; g++ {
+		dst := 4 * g
+		for k := 0; k < 5; k++ {
+			f := &netsim.Flow{Src: dst + 1 + k%3, Dst: dst, RemainingMB: 100, CapMBps: 3.5}
+			fb.Add(f)
+			live = append(live, f)
+		}
+	}
+	fb.Recompute()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		j := i % len(live)
+		old := live[j]
+		fb.Remove(old)
+		nf := &netsim.Flow{Src: old.Src, Dst: old.Dst, RemainingMB: 100, CapMBps: 3.5}
+		fb.Add(nf)
+		live[j] = nf
+		if incremental {
+			fb.ResolveDirty()
+		} else {
+			fb.Recompute()
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
 }

@@ -9,7 +9,9 @@ import (
 // Each simulation owns its cluster, clock and RNG, so independent runs
 // parallelise perfectly; results must be written to pre-sized slices
 // indexed by i, keeping output order deterministic regardless of
-// scheduling. The first error wins.
+// scheduling. When several iterations fail, the error from the lowest
+// index is returned — deterministic regardless of which goroutine
+// reported first.
 func parallelFor(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -24,9 +26,10 @@ func parallelFor(n int, fn func(i int) error) error {
 		return nil
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = -1
+		minErr error
 	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -36,8 +39,8 @@ func parallelFor(n int, fn func(i int) error) error {
 			for i := range next {
 				if err := fn(i); err != nil {
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					if errIdx < 0 || i < errIdx {
+						errIdx, minErr = i, err
 					}
 					mu.Unlock()
 				}
@@ -49,5 +52,5 @@ func parallelFor(n int, fn func(i int) error) error {
 	}
 	close(next)
 	wg.Wait()
-	return firstErr
+	return minErr
 }

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	if err := parallelFor(100, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d iterations, want 100", ran.Load())
+	}
+}
+
+func TestParallelForLowestIndexErrorWins(t *testing.T) {
+	// Errors injected at two indices: the lower one must be reported,
+	// no matter which goroutine finishes first. The high-index failure
+	// returns instantly while the low-index one is delayed behind real
+	// work, biasing the race toward the wrong answer if selection were
+	// first-wins.
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		err := parallelFor(64, func(i int) error {
+			switch i {
+			case 3:
+				// Busy work so index 3 reports after index 60.
+				s := 0.0
+				for k := 0; k < 100000; k++ {
+					s += float64(k)
+				}
+				if s < 0 {
+					return fmt.Errorf("unreachable")
+				}
+				return errLow
+			case 60:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: got %v, want error from lowest index", trial, err)
+		}
+	}
+}
+
+func TestParallelForSerialPath(t *testing.T) {
+	// n = 1 exercises the serial fallback, which stops at the first
+	// error (lowest index by construction).
+	want := errors.New("boom")
+	if err := parallelFor(1, func(i int) error { return want }); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}

@@ -3,6 +3,7 @@ package mr
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"smapreduce/internal/dfs"
 	"smapreduce/internal/metrics"
@@ -36,8 +37,15 @@ type Cluster struct {
 	jt       *JobTracker
 
 	ops      []*fluidOp
-	opPos    map[*fluidOp]int
 	mutDepth int
+
+	// Dirty-op tracking for incremental refresh: ops queued for the
+	// next refreshDirty, per-node op lists, and the loose ops refreshed
+	// every scope (test harness closures). Flow-bound ops are reached
+	// through Flow.Userdata rather than a lookup table.
+	dirtyOps []*fluidOp
+	looseOps []*fluidOp
+	nodeOps  [][]*fluidOp
 
 	controller   Controller
 	ctrlEvent    *sim.Event
@@ -86,22 +94,33 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	net.Nodes = cfg.Workers
 	rng := sim.NewRand(cfg.Seed)
 	c := &Cluster{
-		cfg:    cfg,
-		clock:  sim.NewClock(),
-		rng:    rng.Fork(0),
-		fabric: netsim.NewFabric(net),
-		fs:     dfs.New(cfg.Workers, cfg.DFS, rng.Fork(1)),
-		opPos:  make(map[*fluidOp]int),
+		cfg:     cfg,
+		clock:   sim.NewClock(),
+		rng:     rng.Fork(0),
+		fabric:  netsim.NewFabric(net),
+		fs:      dfs.New(cfg.Workers, cfg.DFS, rng.Fork(1)),
+		nodeOps: make([][]*fluidOp, cfg.Workers),
 	}
-	// The runtime batches flow changes per mutation scope and
-	// recomputes rates once in refreshAll.
+	// The runtime batches flow changes per mutation scope and resolves
+	// perturbed components once in refreshDirty. The rate listener
+	// marks the ops of flows whose allocation actually moved.
 	c.fabric.SetAutoRecompute(false)
+	c.fabric.SetRateListener(func(f *netsim.Flow) {
+		if op, ok := f.Userdata.(*fluidOp); ok {
+			c.markOpDirty(op)
+		}
+	})
+	if cfg.FullResolve || os.Getenv("SMR_FULL_RESOLVE") == "1" {
+		c.fabric.SetFullResolve(true)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		spec := cfg.NodeSpec
 		if cfg.NodeSpecs != nil {
 			spec = cfg.NodeSpecs[i]
 		}
 		node := resource.NewNode(i, spec)
+		id := i
+		node.SetChangeHook(func() { c.markNodeOpsDirty(id) })
 		c.nodes = append(c.nodes, node)
 		c.trackers = append(c.trackers, newTaskTracker(c, i, node))
 	}
@@ -185,7 +204,7 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 		if err != nil {
 			return nil, err
 		}
-		j := newJob(i, spec, file, c.cfg.NodeSpec.Beta)
+		j := newJob(i, spec, file, c.cfg.NodeSpec.Beta, c.cfg.Workers)
 		jobs = append(jobs, j)
 	}
 
@@ -240,7 +259,7 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 // scheduleSampler records progress curves for all running jobs.
 func (c *Cluster) scheduleSampler() {
 	c.sampleEvent = c.clock.After(c.cfg.SampleInterval, "sample", func() {
-		c.Mutate(func() {}) // settle so fractions are current
+		// No settle pass needed: op fractions settle lazily on read.
 		now := c.clock.Now()
 		for _, j := range c.jt.jobs {
 			if j.Submitted >= 0 && !j.Finished() {

@@ -19,6 +19,27 @@ func BenchmarkClusterRun(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterEvents isolates the event-processing cost the
+// incremental settle/refresh machinery optimises: a full terasort run
+// divided by its event count, reported as ns/event. Most events touch
+// one node's activities or one reducer's flows, so the dirty-op refresh
+// should stay near O(touched ops) rather than O(all ops).
+func BenchmarkClusterEvents(b *testing.B) {
+	spec := JobSpec{Name: "ts", Profile: puma.MustGet("terasort"), InputMB: 10 * 1024, Reduces: 8}
+	b.ReportAllocs()
+	events := int64(0)
+	for i := 0; i < b.N; i++ {
+		c := MustNewCluster(smallConfig())
+		if _, err := c.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+		events += int64(c.clock.Fired())
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	}
+}
+
 // BenchmarkSnapshot measures the stats snapshot the slot manager takes
 // every tick.
 func BenchmarkSnapshot(b *testing.B) {

@@ -150,6 +150,13 @@ type Config struct {
 	// containers concurrently".
 	MapContainerMB    float64
 	ReduceContainerMB float64
+
+	// FullResolve arms the incremental-resolution verification mode:
+	// every rate refresh additionally runs a from-scratch water-filling
+	// pass and panics if any flow rate diverges from the incremental
+	// result. Debug/CI knob (also enabled by SMR_FULL_RESOLVE=1);
+	// roughly doubles network-resolution cost.
+	FullResolve bool
 }
 
 // DefaultConfig mirrors the paper's workbench: 16 workers, 3 map +

@@ -63,14 +63,15 @@ func (c *Cluster) failTracker(tt *TaskTracker) {
 			if r.state != TaskRunning {
 				continue
 			}
-			if sf, ok := r.flows[tt.id]; ok {
+			if sf := r.flows[tt.id]; sf != nil {
 				c.fabric.Remove(sf.flow)
 				c.dropOp(sf.op)
-				delete(r.flows, tt.id)
-				delete(r.flowMaps, tt.id)
+				r.flows[tt.id] = nil
+				r.nflows--
+				r.flowMaps[tt.id] = nil
 			}
-			delete(r.pending, tt.id)
-			delete(r.pendingMaps, tt.id)
+			r.pending[tt.id] = 0
+			r.pendingMaps[tt.id] = nil
 		}
 	}
 
@@ -160,7 +161,7 @@ func (c *Cluster) outputStillNeeded(j *Job, m *mapTask) bool {
 		if r.state == TaskRunning && r.phase > 0 {
 			continue // fetched everything already
 		}
-		if !r.got[m] {
+		if !r.got[m.id] {
 			return true
 		}
 	}
@@ -215,10 +216,14 @@ func (c *Cluster) abortReduce(r *reduceTask) {
 		r.diskAct = nil
 	}
 	for src, sf := range r.flows {
+		if sf == nil {
+			continue
+		}
 		c.fabric.Remove(sf.flow)
 		c.dropOp(sf.op)
-		delete(r.flows, src)
+		r.flows[src] = nil
 	}
+	r.nflows = 0
 	c.dropOp(r.sortOp)
 	c.dropOp(r.mergeOp)
 	c.dropOp(r.redOp)
@@ -241,10 +246,14 @@ func (c *Cluster) abortReduce(r *reduceTask) {
 	r.phase = 0
 	r.pendingOps = 0
 	r.fetchedMB = 0
-	r.pending = make(map[int]float64)
-	r.pendingMaps = make(map[int][]*mapTask)
-	r.flowMaps = make(map[int][]*mapTask)
-	r.got = make(map[*mapTask]bool)
+	for i := range r.pending {
+		r.pending[i] = 0
+		r.pendingMaps[i] = nil
+		r.flowMaps[i] = nil
+	}
+	for i := range r.got {
+		r.got[i] = false
+	}
 
 	// Rebuild the fetch queue from the outputs that exist right now;
 	// outputs lost in the same failure are re-queued separately and

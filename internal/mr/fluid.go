@@ -3,26 +3,53 @@ package mr
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"smapreduce/internal/netsim"
 	"smapreduce/internal/sim"
 )
 
 // fluidOp is one piece of rate-driven work: a CPU phase, a disk phase
 // or a network flow. Between membership events its rate is constant, so
 // progress integrates linearly and completion can be scheduled exactly.
+//
+// Ops are settled lazily: remaining work is integrated forward only
+// when the op is read (fraction, movedMB), topped up, refreshed after a
+// rate change, or completed. Because lastRate is updated at every rate
+// change, integrating a long untouched span in one step is exact up to
+// float rounding.
 type fluidOp struct {
 	label      string
 	total      float64        // initial work, for progress fractions
-	remaining  float64        // outstanding work
+	remaining  float64        // outstanding work as of lastSettle
 	rateFn     func() float64 // reads the current fluid rate
 	lastRate   float64
 	lastSettle float64
 	event      *sim.Event
 	onDone     func() // runs inside the mutation scope that retired the op
+	handler    func() // cached completion closure, reused across reschedules
+
+	// Dirty-tracking state. An op is bound to the rate source that can
+	// change its rate — a node's activity set (nodeID >= 0), a fabric
+	// flow, or neither ("loose", arbitrary rateFn closures used by
+	// tests) — and is marked dirty when that source changes. Loose ops
+	// have no observable source, so they refresh on every Mutate.
+	c         *Cluster
+	pos       int // position in c.ops; -1 once removed
+	dirty     bool
+	nodeID    int // node binding; -1 when not node-bound
+	nodeSlot  int // position in c.nodeOps[nodeID]
+	flow      *netsim.Flow
+	loose     bool
+	looseSlot int // position in c.looseOps
 }
 
-// fraction reports completed work in [0,1].
+// fraction reports completed work in [0,1], settling first so the
+// value is current even between refreshes.
 func (o *fluidOp) fraction() float64 {
+	if o.c != nil && o.c.hasOp(o) {
+		o.c.settleOp(o)
+	}
 	if o.total <= 0 {
 		return 1
 	}
@@ -36,27 +63,53 @@ func (o *fluidOp) fraction() float64 {
 	return f
 }
 
+// movedMB reports work completed so far in the op's own unit, settled
+// to the current instant.
+func (o *fluidOp) movedMB() float64 {
+	if o.c != nil && o.c.hasOp(o) {
+		o.c.settleOp(o)
+	}
+	return o.total - o.remaining
+}
+
 const opEpsilon = 1e-9
 
-// Mutate brackets a state change to the fluid system: it settles all
-// in-flight work at the current rates, applies fn (which may add or
-// remove activities, flows and ops, and may nest further Mutate calls),
-// then refreshes every op's rate and completion event once at the
-// outermost level.
+// Mutate brackets a state change to the fluid system. fn may add or
+// remove activities, flows and ops, and may nest further Mutate calls;
+// at the outermost exit every op whose rate inputs were touched is
+// settled at its pre-change rate and refreshed (rates re-resolved,
+// completion events rescheduled). Ops with provably untouched rate
+// inputs keep their scheduled completion events and are not visited.
 func (c *Cluster) Mutate(fn func()) {
-	if c.mutDepth == 0 {
-		c.settleAll()
-	}
 	c.mutDepth++
 	fn()
 	c.mutDepth--
 	if c.mutDepth == 0 {
-		c.refreshAll()
+		c.refreshDirty()
 	}
 }
 
-// addOp registers new fluid work. Must be called inside Mutate.
-func (c *Cluster) addOp(label string, work float64, rateFn func() float64, onDone func()) *fluidOp {
+// markOpDirty queues op for the refresh at the end of the current
+// mutation scope. Idempotent per scope.
+func (c *Cluster) markOpDirty(op *fluidOp) {
+	if !op.dirty {
+		op.dirty = true
+		c.dirtyOps = append(c.dirtyOps, op)
+	}
+}
+
+// markNodeOpsDirty marks every op whose rate derives from node id.
+// Wired as the node's change hook: any activity membership change
+// recomputes all activity rates on that node.
+func (c *Cluster) markNodeOpsDirty(id int) {
+	for _, op := range c.nodeOps[id] {
+		c.markOpDirty(op)
+	}
+}
+
+// newOp builds and registers an unbound op. Must be called inside
+// Mutate. The caller binds it (node/flow/loose) before the scope ends.
+func (c *Cluster) newOp(label string, work float64, rateFn func() float64, onDone func()) *fluidOp {
 	if c.mutDepth == 0 {
 		panic("mr: addOp outside Mutate")
 	}
@@ -70,38 +123,96 @@ func (c *Cluster) addOp(label string, work float64, rateFn func() float64, onDon
 		rateFn:     rateFn,
 		lastSettle: c.clock.Now(),
 		onDone:     onDone,
+		c:          c,
+		nodeID:     -1,
 	}
+	op.handler = c.completionHandler(op)
 	c.addToOps(op)
+	c.markOpDirty(op) // new ops always need a first refresh
+	return op
+}
+
+// addOp registers loose fluid work whose rate has no tracked source;
+// it is re-read on every Mutate. Tests use it with closure rates.
+func (c *Cluster) addOp(label string, work float64, rateFn func() float64, onDone func()) *fluidOp {
+	op := c.newOp(label, work, rateFn, onDone)
+	op.loose = true
+	op.looseSlot = len(c.looseOps)
+	c.looseOps = append(c.looseOps, op)
+	return op
+}
+
+// addNodeOp registers fluid work whose rate derives from node id's
+// activity rates (CPU and disk phases).
+func (c *Cluster) addNodeOp(id int, label string, work float64, rateFn func() float64, onDone func()) *fluidOp {
+	op := c.newOp(label, work, rateFn, onDone)
+	op.nodeID = id
+	op.nodeSlot = len(c.nodeOps[id])
+	c.nodeOps[id] = append(c.nodeOps[id], op)
+	return op
+}
+
+// addFlowOp registers fluid work driven by a fabric flow's rate.
+func (c *Cluster) addFlowOp(flow *netsim.Flow, label string, work float64, onDone func()) *fluidOp {
+	op := c.newOp(label, work, flow.Rate, onDone)
+	op.flow = flow
+	flow.Userdata = op
 	return op
 }
 
 // The op set is an insertion-ordered slice (with swap-remove) rather
-// than a map: settle and refresh iterate it, and iteration order
-// assigns event sequence numbers, which break ties between same-instant
-// completions. Map iteration order would make those ties — and any rng
-// draws their handlers perform — nondeterministic across runs.
+// than a map: refresh processes dirty ops in registration order, and
+// that order assigns event sequence numbers, which break ties between
+// same-instant completions. Map iteration order would make those ties —
+// and any rng draws their handlers perform — nondeterministic. Each op
+// carries its own slice position so membership tests and removal need
+// no hashing.
 
 func (c *Cluster) addToOps(op *fluidOp) {
-	c.opPos[op] = len(c.ops)
+	op.pos = len(c.ops)
 	c.ops = append(c.ops, op)
 }
 
 func (c *Cluster) removeFromOps(op *fluidOp) {
-	i, ok := c.opPos[op]
-	if !ok {
+	i := op.pos
+	if i < 0 {
 		return
 	}
 	last := len(c.ops) - 1
 	c.ops[i] = c.ops[last]
-	c.opPos[c.ops[i]] = i
+	c.ops[i].pos = i
 	c.ops[last] = nil
 	c.ops = c.ops[:last]
-	delete(c.opPos, op)
+	op.pos = -1
+	c.unbindOp(op)
+}
+
+// unbindOp detaches an op from its dirty source.
+func (c *Cluster) unbindOp(op *fluidOp) {
+	switch {
+	case op.nodeID >= 0:
+		list := c.nodeOps[op.nodeID]
+		last := len(list) - 1
+		list[op.nodeSlot] = list[last]
+		list[op.nodeSlot].nodeSlot = op.nodeSlot
+		list[last] = nil
+		c.nodeOps[op.nodeID] = list[:last]
+		op.nodeID = -1
+	case op.flow != nil:
+		op.flow.Userdata = nil
+		op.flow = nil
+	case op.loose:
+		last := len(c.looseOps) - 1
+		c.looseOps[op.looseSlot] = c.looseOps[last]
+		c.looseOps[op.looseSlot].looseSlot = op.looseSlot
+		c.looseOps[last] = nil
+		c.looseOps = c.looseOps[:last]
+		op.loose = false
+	}
 }
 
 func (c *Cluster) hasOp(op *fluidOp) bool {
-	_, ok := c.opPos[op]
-	return ok
+	return op.pos >= 0
 }
 
 // dropOp unregisters an op without completing it (task teardown).
@@ -119,7 +230,8 @@ func (c *Cluster) dropOp(op *fluidOp) {
 }
 
 // topUpOp adds work to a live op (shuffle flows gain bytes when map
-// outputs commit). Must be called inside Mutate.
+// outputs commit). Must be called inside Mutate. Progress so far is
+// settled before the top-up so the new work extends from now.
 func (c *Cluster) topUpOp(op *fluidOp, work float64) {
 	if c.mutDepth == 0 {
 		panic("mr: topUpOp outside Mutate")
@@ -130,43 +242,66 @@ func (c *Cluster) topUpOp(op *fluidOp, work float64) {
 	if !c.hasOp(op) {
 		panic(fmt.Sprintf("mr: topUpOp on retired op %q", op.label))
 	}
+	c.settleOp(op)
 	op.total += work
 	op.remaining += work
+	c.markOpDirty(op) // completion moved out; reschedule at refresh
 }
 
-// settleAll integrates every op's progress up to now at its last
-// computed rate.
-func (c *Cluster) settleAll() {
+// settleOp integrates one op's progress up to now at its last computed
+// rate. Idempotent within an instant.
+func (c *Cluster) settleOp(op *fluidOp) {
 	now := c.clock.Now()
-	for _, op := range c.ops {
-		dt := now - op.lastSettle
-		if dt > 0 && op.lastRate > 0 {
-			op.remaining -= op.lastRate * dt
-			if op.remaining < 0 {
-				// A completion event at exactly this instant is still
-				// queued; tolerate the epsilon and clamp.
-				if op.remaining < -1e-6*math.Max(1, op.total) {
-					panic(fmt.Sprintf("mr: op %q overshot by %v", op.label, -op.remaining))
-				}
-				op.remaining = 0
+	dt := now - op.lastSettle
+	if dt > 0 && op.lastRate > 0 {
+		op.remaining -= op.lastRate * dt
+		if op.remaining < 0 {
+			// A completion event at exactly this instant is still
+			// queued; tolerate the epsilon and clamp.
+			if op.remaining < -1e-6*math.Max(1, op.total) {
+				panic(fmt.Sprintf("mr: op %q overshot by %v", op.label, -op.remaining))
 			}
+			op.remaining = 0
 		}
-		op.lastSettle = now
 	}
+	op.lastSettle = now
 }
 
-// refreshAll re-reads every op's rate and (re)schedules its completion.
-func (c *Cluster) refreshAll() {
-	c.fabric.Recompute()
+// refreshDirty resolves fabric rates for perturbed components (which
+// marks flow-bound ops whose rates changed), then settles and
+// reschedules every dirty op. Ops that were not touched keep their
+// completion events untouched — their scheduled times are still exact
+// because their rates did not change.
+func (c *Cluster) refreshDirty() {
+	c.fabric.ResolveDirty()
+	for _, op := range c.looseOps {
+		c.markOpDirty(op)
+	}
+	if len(c.dirtyOps) == 0 {
+		return
+	}
+	// Drop retired ops from the dirty list, then process in
+	// registration order so event sequence numbers — the tie-break for
+	// same-instant completions — are assigned deterministically.
+	live := c.dirtyOps[:0]
+	for _, op := range c.dirtyOps {
+		op.dirty = false
+		if c.hasOp(op) {
+			live = append(live, op)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].pos < live[j].pos })
 	now := c.clock.Now()
-	for _, op := range c.ops {
+	for _, op := range live {
+		c.settleOp(op)
 		rate := op.rateFn()
 		if math.IsNaN(rate) || rate < 0 {
 			panic(fmt.Sprintf("mr: op %q has invalid rate %v", op.label, rate))
 		}
 		// Unchanged rate with a live event: the scheduled completion is
 		// still exact, so skip the cancel/reschedule churn. This is the
-		// common case — most events perturb one node, not the cluster.
+		// common case for loose ops and node ops whose sibling count
+		// changed without moving the share.
 		if rate == op.lastRate && op.event != nil && !op.event.Cancelled() && op.remaining > opEpsilon {
 			continue
 		}
@@ -175,15 +310,16 @@ func (c *Cluster) refreshAll() {
 		op.event = nil
 		switch {
 		case op.remaining <= opEpsilon:
-			op.event = c.clock.Schedule(now, op.label, c.completionHandler(op))
+			op.event = c.clock.Schedule(now, op.label, op.handler)
 		case rate > 0:
 			eta := op.remaining / rate
 			if math.IsInf(eta, 1) {
 				continue
 			}
-			op.event = c.clock.Schedule(now+eta, op.label, c.completionHandler(op))
+			op.event = c.clock.Schedule(now+eta, op.label, op.handler)
 		}
 	}
+	c.dirtyOps = c.dirtyOps[:0]
 }
 
 // completionHandler retires the op and runs its continuation inside a
@@ -198,8 +334,10 @@ func (c *Cluster) completionHandler(op *fluidOp) func() {
 			// Settle may leave a hair of work if rates fell since the
 			// event was scheduled; in that case re-arm instead of
 			// completing early.
+			c.settleOp(op)
 			if op.remaining > opEpsilon && op.lastRate > 0 {
-				return // refreshAll will reschedule
+				c.markOpDirty(op) // refreshDirty will reschedule
+				return
 			}
 			op.remaining = 0
 			c.removeFromOps(op)

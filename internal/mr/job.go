@@ -103,7 +103,8 @@ type Job struct {
 }
 
 // newJob materialises tasks for a spec whose input file already exists.
-func newJob(id int, spec JobSpec, file *dfs.File, beta float64) *Job {
+// workers sizes the per-source shuffle bookkeeping on each reducer.
+func newJob(id int, spec JobSpec, file *dfs.File, beta float64, workers int) *Job {
 	j := &Job{
 		ID:          id,
 		Spec:        spec,
@@ -123,11 +124,11 @@ func newJob(id int, spec JobSpec, file *dfs.File, beta float64) *Job {
 		j.reduces = append(j.reduces, &reduceTask{
 			job:         j,
 			partition:   p,
-			pending:     make(map[int]float64),
-			pendingMaps: make(map[int][]*mapTask),
-			flows:       make(map[int]*shuffleFlow),
-			flowMaps:    make(map[int][]*mapTask),
-			got:         make(map[*mapTask]bool),
+			pending:     make([]float64, workers),
+			pendingMaps: make([][]*mapTask, workers),
+			flows:       make([]*shuffleFlow, workers),
+			flowMaps:    make([][]*mapTask, workers),
+			got:         make([]bool, len(j.maps)),
 		})
 	}
 	return j
@@ -332,18 +333,27 @@ type reduceTask struct {
 	phase      int
 	pendingOps int
 
-	// Shuffle bookkeeping. pending[src] holds committed-but-not-yet-
-	// flowing MB; flows holds the live transfers (≤ Fetchers of them).
-	// got marks map outputs fully received (durable at the reducer —
-	// fetched segments survive the source tracker's death, so only
-	// un-received outputs force map re-execution). pendingMaps and
-	// flowMaps record which map outputs each queue/flow covers.
-	pending     map[int]float64
-	pendingMaps map[int][]*mapTask
-	flows       map[int]*shuffleFlow
-	flowMaps    map[int][]*mapTask
-	got         map[*mapTask]bool
+	// Shuffle bookkeeping, indexed by source node: pending[src] holds
+	// committed-but-not-yet-flowing MB; flows[src] is the live transfer
+	// from src, nil when none (nflows counts the non-nil entries, kept
+	// ≤ Fetchers). got marks map outputs fully received, by logical map
+	// id (durable at the reducer — fetched segments survive the source
+	// tracker's death, so only un-received outputs force map
+	// re-execution). pendingMaps and flowMaps record which map outputs
+	// each queue/flow covers. Dense slices rather than maps: sources
+	// are small integers and these are the hottest structures in the
+	// shuffle path.
+	pending     []float64
+	pendingMaps [][]*mapTask
+	flows       []*shuffleFlow
+	flowMaps    [][]*mapTask
+	nflows      int
+	got         []bool
 	fetchedMB   float64
+
+	// fetchLabel caches the "shuffle job/rN<-" label prefix shared by
+	// every fetch this reducer starts.
+	fetchLabel string
 
 	phantom *resource.Activity
 	cpuAct  *resource.Activity
@@ -372,7 +382,7 @@ func (r *reduceTask) pendingTotal() float64 {
 
 // shuffleSettled reports whether every committed byte has been fetched.
 func (r *reduceTask) shuffleSettled() bool {
-	return len(r.flows) == 0 && r.pendingTotal() <= opEpsilon
+	return r.nflows == 0 && r.pendingTotal() <= opEpsilon
 }
 
 // progressFraction reports completed work in [0,1], one third per phase.

@@ -15,7 +15,7 @@ func admitTestJob(t *testing.T, c *Cluster, name string, inputMB float64, reduce
 		t.Fatal(err)
 	}
 	spec := JobSpec{Name: name, Profile: puma.MustGet("grep"), InputMB: inputMB, Reduces: reduces}
-	j := newJob(len(c.jt.jobs), spec, file, c.cfg.NodeSpec.Beta)
+	j := newJob(len(c.jt.jobs), spec, file, c.cfg.NodeSpec.Beta, c.cfg.Workers)
 	c.Mutate(func() { c.jt.admit(j) })
 	return j
 }

@@ -96,7 +96,7 @@ func TestJobReportUnfinished(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := newJob(0, JobSpec{Name: "x", Profile: puma.MustGet("grep"), InputMB: 1024, Reduces: 4}, file, c.cfg.NodeSpec.Beta)
+	j := newJob(0, JobSpec{Name: "x", Profile: puma.MustGet("grep"), InputMB: 1024, Reduces: 4}, file, c.cfg.NodeSpec.Beta, c.cfg.Workers)
 	r := j.Report(c)
 	if !math.IsNaN(r.LocalityFraction()) || !math.IsNaN(r.Skew()) {
 		t.Fatal("empty report produced numbers")

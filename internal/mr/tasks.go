@@ -2,6 +2,7 @@ package mr
 
 import (
 	"fmt"
+	"strconv"
 
 	"smapreduce/internal/dfs"
 	"smapreduce/internal/netsim"
@@ -45,7 +46,7 @@ func (c *Cluster) launchMap(tt *TaskTracker, m *mapTask) {
 	}
 	tt.node.Add(m.cpuAct)
 	work := m.split.SizeMB * prof.MapCPUPerMB * c.rng.Jitter(c.cfg.Jitter)
-	m.computeOp = c.addOp(m.cpuAct.Label, work, m.cpuAct.Rate, func() {
+	m.computeOp = c.addNodeOp(tt.id, m.cpuAct.Label, work, m.cpuAct.Rate, func() {
 		tt.node.Remove(m.cpuAct)
 		m.cpuAct = nil
 		c.mapPhaseOpDone(m)
@@ -57,7 +58,7 @@ func (c *Cluster) launchMap(tt *TaskTracker, m *mapTask) {
 			Label: fmt.Sprintf("read %s/%d", m.job.Spec.Name, m.id)}
 		c.fabric.Add(flow)
 		m.readFlow = flow
-		m.readOp = c.addOp(flow.Label, m.split.SizeMB, flow.Rate, func() {
+		m.readOp = c.addFlowOp(flow, flow.Label, m.split.SizeMB, func() {
 			c.fabric.Remove(flow)
 			m.readFlow = nil
 			c.mapPhaseOpDone(m)
@@ -130,7 +131,7 @@ func (c *Cluster) startMapSpill(m *mapTask) {
 			Label:       fmt.Sprintf("sort %s/%d", m.job.Spec.Name, m.id),
 		}
 		tt.node.Add(m.cpuAct)
-		m.sortOp = c.addOp(m.cpuAct.Label, sortWork, m.cpuAct.Rate, func() {
+		m.sortOp = c.addNodeOp(tt.id, m.cpuAct.Label, sortWork, m.cpuAct.Rate, func() {
 			tt.node.Remove(m.cpuAct)
 			m.cpuAct = nil
 			c.mapPhaseOpDone(m)
@@ -145,7 +146,7 @@ func (c *Cluster) startMapSpill(m *mapTask) {
 			Label:     fmt.Sprintf("spill %s/%d", m.job.Spec.Name, m.id),
 		}
 		tt.node.Add(m.diskAct)
-		m.spillOp = c.addOp(m.diskAct.Label, m.preCombineMB, m.diskAct.Rate, func() {
+		m.spillOp = c.addNodeOp(tt.id, m.diskAct.Label, m.preCombineMB, m.diskAct.Rate, func() {
 			tt.node.Remove(m.diskAct)
 			m.diskAct = nil
 			c.mapPhaseOpDone(m)
@@ -194,7 +195,7 @@ func (c *Cluster) commitMap(m *mapTask) {
 	// (durable at their end) are skipped.
 	if logical.shuffleMB > 0 && len(j.reduces) > 0 {
 		for _, r := range j.reduces {
-			if !r.got[logical] {
+			if !r.got[logical.id] {
 				c.deliverShare(r, tt.id, logical.shuffleMB*j.partWeights[r.partition], logical)
 			}
 		}
@@ -226,11 +227,11 @@ func (c *Cluster) deliverShare(r *reduceTask, src int, mb float64, m *mapTask) {
 	}
 	if r.state == TaskRunning && r.tracker.id == src {
 		r.fetchedMB += mb
-		r.got[m] = true
+		r.got[m.id] = true
 		return
 	}
 	if r.state == TaskRunning {
-		if sf, ok := r.flows[src]; ok {
+		if sf := r.flows[src]; sf != nil {
 			c.topUpOp(sf.op, mb)
 			c.fabric.TopUp(sf.flow, mb)
 			r.flowMaps[src] = append(r.flowMaps[src], m)
@@ -249,47 +250,51 @@ func (c *Cluster) deliverShare(r *reduceTask, src int, mb float64, m *mapTask) {
 // activateFetches starts transfers from pending sources until the
 // reducer's fetcher threads are all busy.
 func (c *Cluster) activateFetches(r *reduceTask) {
-	for src := 0; len(r.flows) < c.cfg.Fetchers; src++ {
+	for src := 0; r.nflows < c.cfg.Fetchers; src++ {
 		if src >= c.cfg.Workers {
 			return
 		}
-		mb, ok := r.pending[src]
-		if !ok || mb <= 0 {
+		mb := r.pending[src]
+		if mb <= 0 || r.flows[src] != nil {
 			continue
 		}
-		if _, live := r.flows[src]; live {
-			continue
-		}
-		delete(r.pending, src)
+		r.pending[src] = 0
 		r.flowMaps[src] = r.pendingMaps[src]
-		delete(r.pendingMaps, src)
+		r.pendingMaps[src] = nil
 		c.startFetch(r, src, mb)
 	}
 }
 
 // startFetch opens one capped shuffle flow from src to the reducer.
+// Fetches are the highest-volume op kind, so their labels come from a
+// cached per-reducer prefix instead of a fresh format call each time.
 func (c *Cluster) startFetch(r *reduceTask, src int, mb float64) {
+	if r.fetchLabel == "" {
+		r.fetchLabel = "shuffle " + r.job.Spec.Name + "/r" + strconv.Itoa(r.partition) + "<-"
+	}
 	flow := &netsim.Flow{
 		Src: src, Dst: r.tracker.id, RemainingMB: mb,
 		CapMBps: c.cfg.PerFetchMBps,
-		Label:   fmt.Sprintf("shuffle %s/r%d<-%d", r.job.Spec.Name, r.partition, src),
+		Label:   r.fetchLabel + strconv.Itoa(src),
 	}
 	c.fabric.Add(flow)
 	sf := &shuffleFlow{flow: flow}
 	tt := r.tracker
-	sf.op = c.addOp(flow.Label, mb, flow.Rate, func() {
+	sf.op = c.addFlowOp(flow, flow.Label, mb, func() {
 		c.fabric.Remove(flow)
-		delete(r.flows, src)
+		r.flows[src] = nil
+		r.nflows--
 		for _, m := range r.flowMaps[src] {
-			r.got[m] = true
+			r.got[m.id] = true
 		}
-		delete(r.flowMaps, src)
+		r.flowMaps[src] = nil
 		r.fetchedMB += sf.op.total
 		tt.shuffleDoneMB += sf.op.total
 		c.activateFetches(r)
 		c.checkShuffleDone(r)
 	})
 	r.flows[src] = sf
+	r.nflows++
 }
 
 // launchReduce starts reduce task r on tracker tt.
@@ -320,12 +325,12 @@ func (c *Cluster) launchReduce(tt *TaskTracker, r *reduceTask) {
 
 	// Any shares committed before launch: local ones are already on
 	// disk here, remote ones start fetching now.
-	if mb, ok := r.pending[tt.id]; ok {
-		delete(r.pending, tt.id)
+	if mb := r.pending[tt.id]; mb > 0 || len(r.pendingMaps[tt.id]) > 0 {
+		r.pending[tt.id] = 0
 		for _, m := range r.pendingMaps[tt.id] {
-			r.got[m] = true
+			r.got[m.id] = true
 		}
-		delete(r.pendingMaps, tt.id)
+		r.pendingMaps[tt.id] = nil
 		r.fetchedMB += mb
 	}
 	c.activateFetches(r)
@@ -374,7 +379,7 @@ func (c *Cluster) startReduceSort(r *reduceTask) {
 			Label:       fmt.Sprintf("rsort %s/r%d", r.job.Spec.Name, r.partition),
 		}
 		tt.node.Add(r.cpuAct)
-		r.sortOp = c.addOp(r.cpuAct.Label, mergeWork, r.cpuAct.Rate, func() {
+		r.sortOp = c.addNodeOp(tt.id, r.cpuAct.Label, mergeWork, r.cpuAct.Rate, func() {
 			tt.node.Remove(r.cpuAct)
 			r.cpuAct = nil
 			c.reducePhaseOpDone(r)
@@ -389,7 +394,7 @@ func (c *Cluster) startReduceSort(r *reduceTask) {
 			Label:     fmt.Sprintf("rmerge %s/r%d", r.job.Spec.Name, r.partition),
 		}
 		tt.node.Add(r.diskAct)
-		r.mergeOp = c.addOp(r.diskAct.Label, r.fetchedMB, r.diskAct.Rate, func() {
+		r.mergeOp = c.addNodeOp(tt.id, r.diskAct.Label, r.fetchedMB, r.diskAct.Rate, func() {
 			tt.node.Remove(r.diskAct)
 			r.diskAct = nil
 			c.reducePhaseOpDone(r)
@@ -439,7 +444,7 @@ func (c *Cluster) startReduceCompute(r *reduceTask) {
 			Label:       fmt.Sprintf("reduce %s/r%d", r.job.Spec.Name, r.partition),
 		}
 		tt.node.Add(r.cpuAct)
-		r.redOp = c.addOp(r.cpuAct.Label, redWork, r.cpuAct.Rate, func() {
+		r.redOp = c.addNodeOp(tt.id, r.cpuAct.Label, redWork, r.cpuAct.Rate, func() {
 			tt.node.Remove(r.cpuAct)
 			r.cpuAct = nil
 			c.reducePhaseOpDone(r)
@@ -455,7 +460,7 @@ func (c *Cluster) startReduceCompute(r *reduceTask) {
 			Label:     fmt.Sprintf("rout %s/r%d", r.job.Spec.Name, r.partition),
 		}
 		tt.node.Add(r.diskAct)
-		r.writeOp = c.addOp(r.diskAct.Label, outMB, r.diskAct.Rate, func() {
+		r.writeOp = c.addNodeOp(tt.id, r.diskAct.Label, outMB, r.diskAct.Rate, func() {
 			tt.node.Remove(r.diskAct)
 			r.diskAct = nil
 			c.reducePhaseOpDone(r)
@@ -488,12 +493,12 @@ func (c *Cluster) startReduceCompute(r *reduceTask) {
 					c.reducePhaseOpDone(r)
 				}
 			}
-			fOp := c.addOp(flow.Label, outMB, flow.Rate, func() {
+			fOp := c.addFlowOp(flow, flow.Label, outMB, func() {
 				c.fabric.Remove(flow)
 				flowDone = true
 				finish()
 			})
-			dOp := c.addOp(remoteDisk.Label, outMB, remoteDisk.Rate, func() {
+			dOp := c.addNodeOp(target, remoteDisk.Label, outMB, remoteDisk.Rate, func() {
 				c.nodes[target].Remove(remoteDisk)
 				diskDone = true
 				finish()

@@ -224,8 +224,8 @@ func (tt *TaskTracker) heartbeat() {
 	now := c.clock.Now()
 
 	c.Mutate(func() {
-		// Sample window rates since the previous heartbeat. Mutate has
-		// settled all in-flight work, so op fractions are current.
+		// Sample window rates since the previous heartbeat. Op
+		// fractions settle lazily on read, so they are current here.
 		if dt := now - tt.lastHB; dt > 0 {
 			tt.mapInputRate.Observe((tt.mapInputDoneMB + tt.inFlightMapInputMB() - tt.lastMapInputMB) / dt)
 			tt.mapOutputRate.Observe((tt.mapOutputDoneMB + tt.inFlightMapOutputMB() - tt.lastMapOutputMB) / dt)
@@ -281,7 +281,9 @@ func (tt *TaskTracker) inFlightShuffleMB() float64 {
 	s := 0.0
 	for r := range tt.runningReduces {
 		for _, sf := range r.flows {
-			s += sf.op.total - sf.op.remaining
+			if sf != nil {
+				s += sf.op.movedMB()
+			}
 		}
 	}
 	return s

@@ -245,8 +245,8 @@ func TestPrioritySchedulerOrder(t *testing.T) {
 	highSpec := JobSpec{Name: "high", Profile: puma.MustGet("grep"), InputMB: 4 * 128, Reduces: 2, Priority: 5}
 	fileLow, _ := c.fs.Create("input/low", lowSpec.InputMB)
 	fileHigh, _ := c.fs.Create("input/high", highSpec.InputMB)
-	low := newJob(0, lowSpec, fileLow, c.cfg.NodeSpec.Beta)
-	high := newJob(1, highSpec, fileHigh, c.cfg.NodeSpec.Beta)
+	low := newJob(0, lowSpec, fileLow, c.cfg.NodeSpec.Beta, c.cfg.Workers)
+	high := newJob(1, highSpec, fileHigh, c.cfg.NodeSpec.Beta, c.cfg.Workers)
 	c.Mutate(func() {
 		c.jt.admit(low)
 		c.jt.admit(high)

@@ -11,11 +11,24 @@
 // by shrinking a receiver's effective ingress capacity once its
 // concurrent flow count exceeds IncastThreshold. IncastSeverity ≈ 0
 // corresponds to the tuned cluster, larger values to an untuned one.
+//
+// Rate resolution is incremental. Add and Remove record the links they
+// perturb in a dirty set, and per-link flow lists (maintained on every
+// membership change) let ResolveDirty walk only the connected
+// components reachable from dirty links: water-filling re-runs on those
+// components and every other flow keeps its cached rate. This is exact,
+// not approximate — max-min water-filling decomposes over link-disjoint
+// components, so a component whose flow set and link capacities are
+// unchanged resolves to the same rates. The walk costs O(size of the
+// perturbed components), independent of total fabric population.
+// Recompute still performs a full resolve, and SetFullResolve arms a
+// verification mode that runs both paths and panics on divergence.
 package netsim
 
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Config describes the fabric.
@@ -92,8 +105,25 @@ type Flow struct {
 	CapMBps float64
 	Label   string
 
+	// Userdata is an opaque slot for the embedding simulation (the mr
+	// runtime stores the fluid op driven by this flow here, so the rate
+	// listener needs no side lookup table). The fabric never reads it.
+	Userdata any
+
 	fabric *Fabric
 	rate   float64
+
+	// Fabric bookkeeping, valid while registered. idx is the flow's
+	// position in Fabric.flows (registration order — the water-filling
+	// tie-break order). links holds the nlinks link indices the flow
+	// crosses (egress, ingress, and a rack uplink/downlink pair when it
+	// crosses racks; loopbacks cross none) and slots the flow's
+	// positions in those links' flow lists. visit marks BFS traversal.
+	idx    int
+	nlinks int8
+	links  [4]int32
+	slots  [4]int32
+	visit  uint32
 }
 
 // Rate returns the flow's current allocation in MB/s, valid until the
@@ -104,22 +134,67 @@ func (f *Flow) Rate() float64 { return f.rate }
 //
 // Flows are kept in a slice in registration order so the water-filling
 // tie-breaks are deterministic run-to-run (map iteration order is not).
+// Links are indexed 0..n-1 for node egress, n..2n-1 for node ingress,
+// then 2n..2n+R-1 for rack uplinks and 2n+R..2n+2R-1 for rack
+// downlinks.
 type Fabric struct {
 	cfg   Config
 	flows []*Flow
-	pos   map[*Flow]int
 
 	outCount []int // active flows per sender
 	inCount  []int // active flows per receiver
 
-	// auto controls whether Add/Remove recompute immediately. The mr
-	// runtime batches many flow changes per event and recomputes once.
+	// auto controls whether Add/Remove resolve immediately. The mr
+	// runtime batches many flow changes per event and resolves once.
 	auto bool
 
-	// Scratch buffers reused across Recompute calls.
-	capBuf      []float64
-	cntBuf      []int
-	flowScratch []*Flow
+	// onRateChange, when set, is invoked for every flow whose allocated
+	// rate actually changed value during a resolve. The mr runtime uses
+	// it to mark only the affected fluid ops dirty.
+	onRateChange func(*Flow)
+
+	// fullResolve arms the verification mode: every incremental resolve
+	// is followed by a from-scratch full resolve and the two rate
+	// vectors are compared (panic on divergence > fullResolveTol).
+	fullResolve bool
+
+	// Per-link flow lists, maintained by Add/Remove, so component
+	// discovery can walk outward from a dirty link without touching the
+	// rest of the flow population.
+	linkFlows [][]*Flow
+
+	// Dirty-link set, filled by Add/Remove and drained by resolve.
+	dirtyMark  []bool
+	dirtyLinks []int32
+
+	// linkSlack is each link's remaining capacity after the last
+	// water-fill touching it, kept current across the O(1) fast paths
+	// (which move flows at exactly their caps, so the updates cancel
+	// exactly). It gates those fast paths: a link with slack is binding
+	// for no flow, so cap-bottlenecked churn on it cannot perturb
+	// anyone else's rate.
+	linkSlack []float64
+
+	// BFS state for component discovery. linkVisit is versioned by
+	// visitSeq (bumped once per resolve) so links are walked at most
+	// once per resolve; flow visit marks are versioned by compSeq
+	// (bumped once per component) so a component's flows can be
+	// re-identified by stamp after the walk.
+	linkVisit []uint32
+	visitSeq  uint32
+	compSeq   uint32
+	bfsQ      []int32
+	comp      []*Flow
+
+	// Water-filling scratch: lazily stamped per-link capacity and
+	// unfixed-count buffers plus the active-link list of the component
+	// being filled.
+	capBuf     []float64
+	cntBuf     []int
+	linkStamp  []uint32
+	stampCur   uint32
+	scopeLinks []int32
+	rateSnap   []float64
 }
 
 // NewFabric builds a fabric. Invalid configs panic (static configuration).
@@ -128,26 +203,50 @@ func NewFabric(cfg Config) *Fabric {
 		panic(err)
 	}
 	links := 2*cfg.Nodes + 2*cfg.racks()
-	return &Fabric{
-		cfg:      cfg,
-		pos:      make(map[*Flow]int),
-		outCount: make([]int, cfg.Nodes),
-		inCount:  make([]int, cfg.Nodes),
-		auto:     true,
-		capBuf:   make([]float64, links),
-		cntBuf:   make([]int, links),
+	fb := &Fabric{
+		cfg:       cfg,
+		outCount:  make([]int, cfg.Nodes),
+		inCount:   make([]int, cfg.Nodes),
+		auto:      true,
+		linkFlows: make([][]*Flow, links),
+		dirtyMark: make([]bool, links),
+		linkVisit: make([]uint32, links),
+		linkSlack: make([]float64, links),
+		capBuf:    make([]float64, links),
+		cntBuf:    make([]int, links),
+		linkStamp: make([]uint32, links),
 	}
+	for l := range fb.linkSlack {
+		fb.linkSlack[l] = fb.linkCapacity(l)
+	}
+	return fb
 }
 
-// SetAutoRecompute controls whether Add and Remove recompute rates
+// SetAutoRecompute controls whether Add and Remove resolve rates
 // immediately (the default). Batch users disable it and call Recompute
-// once per batch; rates are stale in between.
+// (or ResolveDirty) once per batch; rates are stale in between.
 func (fb *Fabric) SetAutoRecompute(auto bool) {
 	fb.auto = auto
 	if auto {
 		fb.Recompute()
 	}
 }
+
+// SetRateListener registers fn to be called for every flow whose rate
+// changes value during a resolve. Pass nil to disable.
+func (fb *Fabric) SetRateListener(fn func(*Flow)) { fb.onRateChange = fn }
+
+// fullResolveTol is the maximum per-flow rate divergence (MB/s) the
+// verification mode tolerates between the incremental and the full
+// resolve. The two paths perform identical arithmetic per component, so
+// any real staleness bug exceeds this immediately; sub-ULP noise from
+// flow-order changes after swap-removes stays far below it.
+const fullResolveTol = 1e-9
+
+// SetFullResolve arms (or disarms) the verification mode: every
+// ResolveDirty additionally runs a from-scratch resolve and panics if
+// any flow's rate diverges by more than fullResolveTol.
+func (fb *Fabric) SetFullResolve(on bool) { fb.fullResolve = on }
 
 // Config returns the fabric configuration.
 func (fb *Fabric) Config() Config { return fb.cfg }
@@ -158,12 +257,132 @@ func (fb *Fabric) Len() int { return len(fb.flows) }
 // InFlows reports the number of active flows converging on node dst.
 func (fb *Fabric) InFlows(dst int) int { return fb.inCount[dst] }
 
-// Add registers a flow and recomputes all rates. Loopback transfers
-// (Src == Dst) are legal and treated as local copies bounded only by
-// the NIC loopback, modelled as unconstrained: they get rate +Inf and
-// callers should complete them with their own local-copy cost; most
-// callers simply never create them (local shuffle partitions are read
-// from disk).
+// DirtyLinks reports how many links are currently marked dirty —
+// pending incremental work. Diagnostics and tests only.
+func (fb *Fabric) DirtyLinks() int { return len(fb.dirtyLinks) }
+
+// markLinkDirty records one perturbed link for the next resolve.
+func (fb *Fabric) markLinkDirty(l int32) {
+	if !fb.dirtyMark[l] {
+		fb.dirtyMark[l] = true
+		fb.dirtyLinks = append(fb.dirtyLinks, l)
+	}
+}
+
+// setFlowLinks computes the link set a non-loopback flow crosses.
+func (fb *Fabric) setFlowLinks(f *Flow) {
+	n := fb.cfg.Nodes
+	f.links[0] = int32(f.Src)
+	f.links[1] = int32(n + f.Dst)
+	f.nlinks = 2
+	if racks := fb.cfg.racks(); racks > 0 {
+		if rs, rd := fb.cfg.rackOf(f.Src), fb.cfg.rackOf(f.Dst); rs != rd {
+			f.links[2] = int32(2*n + rs)
+			f.links[3] = int32(2*n + racks + rd)
+			f.nlinks = 4
+		}
+	}
+}
+
+// attach inserts f into the flow list of every link it crosses.
+func (fb *Fabric) attach(f *Flow) {
+	for i := 0; i < int(f.nlinks); i++ {
+		l := f.links[i]
+		f.slots[i] = int32(len(fb.linkFlows[l]))
+		fb.linkFlows[l] = append(fb.linkFlows[l], f)
+	}
+}
+
+// detach removes f from its links' flow lists (swap-remove, fixing the
+// moved flow's slot).
+func (fb *Fabric) detach(f *Flow) {
+	for i := 0; i < int(f.nlinks); i++ {
+		l := f.links[i]
+		list := fb.linkFlows[l]
+		s := f.slots[i]
+		last := len(list) - 1
+		moved := list[last]
+		list[s] = moved
+		for j := 0; j < int(moved.nlinks); j++ {
+			if moved.links[j] == l {
+				moved.slots[j] = s
+				break
+			}
+		}
+		list[last] = nil
+		fb.linkFlows[l] = list[:last]
+	}
+}
+
+// markFlowLinksDirty queues every link of f for the next resolve.
+func (fb *Fabric) markFlowLinksDirty(f *Flow) {
+	for i := 0; i < int(f.nlinks); i++ {
+		fb.markLinkDirty(f.links[i])
+	}
+}
+
+// slackMargin is the per-link slack (MB/s) the O(1) churn fast paths
+// require beyond the moved flow's own cap. It keeps the saturation
+// test far above floating-point noise: near-saturated links simply
+// take the component re-fill path instead.
+const slackMargin = 1e-3
+
+// fastAdd handles the dominant churn event in O(1): a new flow that is
+// bottlenecked by its own cap on links that all keep slack beyond it.
+// Such a flow changes nobody else's allocation — every other flow's
+// bottleneck link is saturated, hence disjoint from these links, so
+// the old rates plus the new flow at its cap satisfy the max-min
+// conditions, and the max-min allocation is unique. The receiver's
+// incast state must not shift, since that would change the ingress
+// capacity under everyone already converging there. Returns false to
+// send the add down the dirty-resolve path.
+func (fb *Fabric) fastAdd(f *Flow) bool {
+	if f.CapMBps <= 0 {
+		return false
+	}
+	if fb.cfg.IncastSeverity > 0 && fb.inCount[f.Dst] > fb.cfg.IncastThreshold {
+		return false // this add shrinks the receiver's ingress capacity
+	}
+	for i := 0; i < int(f.nlinks); i++ {
+		if fb.linkSlack[f.links[i]] < f.CapMBps+slackMargin {
+			return false
+		}
+	}
+	for i := 0; i < int(f.nlinks); i++ {
+		fb.linkSlack[f.links[i]] -= f.CapMBps
+	}
+	return true
+}
+
+// fastRemove is fastAdd's mirror: a flow sitting exactly at its cap on
+// links that all retain slack binds nobody, so removing it releases
+// capacity no other flow was waiting for. The slack updates restore
+// exactly what fastAdd (or a cap-fix round) deducted, so repeated
+// fast churn cannot drift the slack accounting.
+func (fb *Fabric) fastRemove(f *Flow) bool {
+	if f.CapMBps <= 0 || f.rate != f.CapMBps {
+		return false
+	}
+	if fb.cfg.IncastSeverity > 0 && fb.inCount[f.Dst] > fb.cfg.IncastThreshold {
+		return false // this remove grows the receiver's ingress capacity
+	}
+	for i := 0; i < int(f.nlinks); i++ {
+		if fb.linkSlack[f.links[i]] < slackMargin {
+			return false
+		}
+	}
+	for i := 0; i < int(f.nlinks); i++ {
+		fb.linkSlack[f.links[i]] += f.CapMBps
+	}
+	return true
+}
+
+// Add registers a flow and resolves the rates of its component.
+// Loopback transfers (Src == Dst) are legal and treated as local copies
+// bounded only by the NIC loopback, modelled as unconstrained: they get
+// rate +Inf and callers should complete them with their own local-copy
+// cost; most callers simply never create them (local shuffle partitions
+// are read from disk).
 func (fb *Fabric) Add(f *Flow) {
 	if f.fabric != nil {
 		panic(fmt.Sprintf("netsim: flow %q already registered", f.Label))
@@ -178,14 +397,25 @@ func (fb *Fabric) Add(f *Flow) {
 		panic(fmt.Sprintf("netsim: flow %q negative cap", f.Label))
 	}
 	f.fabric = fb
-	fb.pos[f] = len(fb.flows)
+	f.idx = len(fb.flows)
+	f.visit = 0
 	fb.flows = append(fb.flows, f)
 	if f.Src != f.Dst {
 		fb.outCount[f.Src]++
 		fb.inCount[f.Dst]++
+		fb.setFlowLinks(f)
+		fb.attach(f)
+		if fb.fastAdd(f) {
+			fb.setRate(f, f.CapMBps)
+		} else {
+			fb.markFlowLinksDirty(f)
+		}
+	} else {
+		f.nlinks = 0
+		f.rate = math.Inf(1)
 	}
 	if fb.auto {
-		fb.Recompute()
+		fb.ResolveDirty()
 	}
 }
 
@@ -195,21 +425,24 @@ func (fb *Fabric) Remove(f *Flow) {
 	if f.fabric != fb {
 		return
 	}
-	i := fb.pos[f]
 	last := len(fb.flows) - 1
-	fb.flows[i] = fb.flows[last]
-	fb.pos[fb.flows[i]] = i
+	fb.flows[f.idx] = fb.flows[last]
+	fb.flows[f.idx].idx = f.idx
 	fb.flows[last] = nil
 	fb.flows = fb.flows[:last]
-	delete(fb.pos, f)
-	f.fabric = nil
-	f.rate = 0
 	if f.Src != f.Dst {
+		fast := fb.fastRemove(f)
 		fb.outCount[f.Src]--
 		fb.inCount[f.Dst]--
+		fb.detach(f)
+		if !fast {
+			fb.markFlowLinksDirty(f)
+		}
 	}
+	f.fabric = nil
+	f.rate = 0
 	if fb.auto {
-		fb.Recompute()
+		fb.ResolveDirty()
 	}
 }
 
@@ -224,39 +457,232 @@ func (fb *Fabric) ingressCap(dst int) float64 {
 	return cap
 }
 
-// Recompute reruns water-filling over the active flows. It is called
-// automatically on Add/Remove; callers that mutate IncastThreshold or
-// flow endpoints directly (tests) may call it explicitly.
-func (fb *Fabric) Recompute() {
+// linkCapacity returns link l's current capacity. Ingress capacities
+// vary with the receiver's live incast state, so they are read at
+// water-filling time, never cached.
+func (fb *Fabric) linkCapacity(l int) float64 {
 	n := fb.cfg.Nodes
-	racks := fb.cfg.racks()
-	links := 2*n + 2*racks
-	// Remaining capacity and unfixed-flow count per link. Links are
-	// indexed 0..n-1 for node egress, n..2n-1 for node ingress, then
-	// 2n..2n+R-1 for rack uplinks and 2n+R..2n+2R-1 for rack downlinks.
-	cap := fb.capBuf
-	cnt := fb.cntBuf
-	for i := 0; i < n; i++ {
-		cap[i] = fb.cfg.EgressMBps
-		cap[n+i] = fb.ingressCap(i)
-		cnt[i], cnt[n+i] = 0, 0
+	switch {
+	case l < n:
+		return fb.cfg.EgressMBps
+	case l < 2*n:
+		return fb.ingressCap(l - n)
+	default:
+		return fb.cfg.RackUplinkMBps
 	}
-	for r := 0; r < racks; r++ {
-		cap[2*n+r] = fb.cfg.RackUplinkMBps
-		cap[2*n+racks+r] = fb.cfg.RackUplinkMBps
-		cnt[2*n+r], cnt[2*n+racks+r] = 0, 0
+}
+
+// Recompute reruns water-filling over every active flow, ignoring the
+// dirty set. It is the full-resolve path: callers that mutate
+// IncastThreshold or flow endpoints directly (tests) must call it
+// explicitly, since those edits bypass the dirty tracking.
+func (fb *Fabric) Recompute() {
+	// One global water-fill over every link-crossing flow, already in
+	// registration order. Component discovery is skipped: disjoint
+	// components share no links, so a joint pass performs exactly the
+	// per-component arithmetic. Idle links reset their slack to full
+	// capacity so stale post-waterfill leftovers (whose flows have
+	// since departed) cannot depress the fast-path saturation test;
+	// active links get theirs from the water-fill itself.
+	for l := range fb.linkFlows {
+		if len(fb.linkFlows[l]) == 0 {
+			fb.linkSlack[l] = fb.linkCapacity(l)
+		}
 	}
-	unfixed := fb.makeUnfixed()
-	for len(unfixed) > 0 {
-		// Find the tightest link: min fair share among links with
-		// unfixed flows.
-		best, bestShare := -1, math.Inf(1)
-		for l := 0; l < links; l++ {
-			if cnt[l] == 0 {
+	comp := fb.comp[:0]
+	for _, f := range fb.flows {
+		if f.nlinks > 0 {
+			comp = append(comp, f)
+		}
+	}
+	fb.waterfill(comp)
+	fb.comp = comp[:0]
+	fb.clearDirty()
+}
+
+// ResolveDirty reruns water-filling only on connected components
+// reachable from a dirty link, keeping cached rates everywhere else.
+// With an empty dirty set it is a no-op. Under SetFullResolve it
+// additionally runs a full resolve and panics if any rate diverges.
+func (fb *Fabric) ResolveDirty() {
+	if len(fb.dirtyLinks) > 0 {
+		fb.visitSeq++
+		for _, l := range fb.dirtyLinks {
+			fb.resolveComponentAt(l)
+		}
+		fb.clearDirty()
+	}
+	if fb.fullResolve {
+		fb.verifyAgainstFull()
+	}
+}
+
+// verifyAgainstFull snapshots the incrementally resolved rates, reruns
+// a full resolve, and panics on any divergence beyond fullResolveTol.
+func (fb *Fabric) verifyAgainstFull() {
+	snap := fb.rateSnap[:0]
+	for _, f := range fb.flows {
+		snap = append(snap, f.rate)
+	}
+	fb.rateSnap = snap
+	fb.Recompute()
+	for i, f := range fb.flows {
+		d := f.rate - snap[i]
+		if d > fullResolveTol || d < -fullResolveTol {
+			panic(fmt.Sprintf("netsim: incremental resolve diverged on flow %q (%d->%d): incremental %v, full %v",
+				f.Label, f.Src, f.Dst, snap[i], f.rate))
+		}
+	}
+}
+
+// resolveComponentAt water-fills the connected component containing
+// link l, unless it is empty or already visited this resolve (the
+// caller advances visitSeq once per resolve). Component discovery is a
+// BFS over the per-link flow lists; the collected flows are then
+// ordered by registration index so tie-breaks and floating-point
+// accumulation are independent of which link seeded the walk — an
+// incremental resolve performs arithmetic identical to a full one.
+func (fb *Fabric) resolveComponentAt(l int32) {
+	seq := fb.visitSeq
+	if fb.linkVisit[l] == seq || len(fb.linkFlows[l]) == 0 {
+		if len(fb.linkFlows[l]) == 0 {
+			// An idle link's slack is its full capacity; reset it here
+			// so stale post-waterfill leftovers (whose flows have since
+			// departed) cannot depress the fast-path saturation test.
+			fb.linkSlack[l] = fb.linkCapacity(int(l))
+		}
+		fb.linkVisit[l] = seq
+		return
+	}
+	fb.linkVisit[l] = seq
+	fb.compSeq++
+	cseq := fb.compSeq
+	comp := fb.comp[:0]
+	q := append(fb.bfsQ[:0], l)
+	for len(q) > 0 {
+		cur := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, f := range fb.linkFlows[cur] {
+			if f.visit == cseq {
 				continue
 			}
-			share := cap[l] / float64(cnt[l])
-			if share < bestShare {
+			f.visit = cseq
+			comp = append(comp, f)
+			for i := 0; i < int(f.nlinks); i++ {
+				nl := f.links[i]
+				if fb.linkVisit[nl] != seq {
+					fb.linkVisit[nl] = seq
+					q = append(q, nl)
+				}
+			}
+		}
+	}
+	// Order the component by registration index. A dense component
+	// covering most of the fabric (the all-to-all shuffle graph) is
+	// rebuilt by a stamp-filtered scan of the registration-ordered flow
+	// list — O(fabric) with a tiny constant, cheaper than re-sorting
+	// hundreds of pointers every event. Sparse components sort locally
+	// so the scan cost stays off the many-small-components fast path.
+	if k := len(comp); k > 16 && len(fb.flows) < 8*k {
+		comp = comp[:0]
+		for _, f := range fb.flows {
+			if f.visit == cseq {
+				comp = append(comp, f)
+				if len(comp) == k {
+					break
+				}
+			}
+		}
+	} else {
+		sortFlowsByIdx(comp)
+	}
+	fb.waterfill(comp)
+	fb.comp = comp[:0]
+	fb.bfsQ = q[:0]
+}
+
+// sortFlowsByIdx orders a component's flows by registration index.
+// Small components (the churn fast path) use insertion sort to skip
+// the generic sort's indirection; anything larger goes through the
+// stdlib's pdqsort — a dense shuffle graph can be one component with
+// hundreds of flows, where quadratic insertion would dominate the
+// whole resolve.
+func sortFlowsByIdx(comp []*Flow) {
+	if len(comp) > 16 {
+		slices.SortFunc(comp, func(a, b *Flow) int { return a.idx - b.idx })
+		return
+	}
+	for i := 1; i < len(comp); i++ {
+		f := comp[i]
+		j := i - 1
+		if comp[j].idx <= f.idx {
+			continue
+		}
+		for j >= 0 && comp[j].idx > f.idx {
+			comp[j+1] = comp[j]
+			j--
+		}
+		comp[j+1] = f
+	}
+}
+
+// clearDirty resets the dirty-link set after a resolve.
+func (fb *Fabric) clearDirty() {
+	for _, l := range fb.dirtyLinks {
+		fb.dirtyMark[l] = false
+	}
+	fb.dirtyLinks = fb.dirtyLinks[:0]
+}
+
+// setRate records a flow's allocation, notifying the listener when the
+// value actually changed.
+func (fb *Fabric) setRate(f *Flow, rate float64) {
+	if f.rate != rate {
+		f.rate = rate
+		if fb.onRateChange != nil {
+			fb.onRateChange(f)
+		}
+	}
+}
+
+// waterfill runs progressive max-min water-filling over the flows of
+// one connected component. Only the component's own links are touched:
+// their remaining capacity and unfixed-flow count live in capBuf/cntBuf
+// entries stamped for this call, and every round scans the component's
+// active-link list instead of all 2n+2R fabric links.
+func (fb *Fabric) waterfill(flows []*Flow) {
+	caps := fb.capBuf
+	cnts := fb.cntBuf
+	fb.stampCur++
+	stamp := fb.stampCur
+	scope := fb.scopeLinks[:0]
+	for _, f := range flows {
+		for i := 0; i < int(f.nlinks); i++ {
+			l := f.links[i]
+			if fb.linkStamp[l] != stamp {
+				fb.linkStamp[l] = stamp
+				caps[l] = fb.linkCapacity(int(l))
+				cnts[l] = 0
+				scope = append(scope, l)
+			}
+			cnts[l]++
+		}
+	}
+
+	// waterfill owns the flows slice: the round loop compacts it in
+	// place as flows get fixed. Callers pass scratch they reuse after.
+	unfixed := flows
+	for len(unfixed) > 0 {
+		// Find the tightest link: min fair share among the component's
+		// links with unfixed flows, lowest index breaking ties.
+		var best int32 = -1
+		bestShare := math.Inf(1)
+		for _, l := range scope {
+			if cnts[l] == 0 {
+				continue
+			}
+			share := caps[l] / float64(cnts[l])
+			if share < bestShare || (share == bestShare && l < best) {
 				best, bestShare = l, share
 			}
 		}
@@ -271,8 +697,8 @@ func (fb *Fabric) Recompute() {
 		next := unfixed[:0]
 		for _, f := range unfixed {
 			if f.CapMBps > 0 && f.CapMBps < bestShare {
-				f.rate = f.CapMBps
-				fb.deduct(cap, cnt, f, f.rate)
+				fb.setRate(f, f.CapMBps)
+				fb.deduct(caps, cnts, f, f.CapMBps)
 				fixedCapped = true
 			} else {
 				next = append(next, f)
@@ -286,30 +712,38 @@ func (fb *Fabric) Recompute() {
 		// fair share; deduct from all its links.
 		next = unfixed[:0]
 		for _, f := range unfixed {
-			if fb.crossesLink(f, best) {
-				f.rate = bestShare
-				fb.deduct(cap, cnt, f, bestShare)
+			if f.crossesLink(best) {
+				fb.setRate(f, bestShare)
+				fb.deduct(caps, cnts, f, bestShare)
 			} else {
 				next = append(next, f)
 			}
 		}
-		// Numerical guard: capacities must never go (meaningfully)
-		// negative.
-		for l := range cap {
-			if cap[l] < 0 {
-				if cap[l] < -1e-6 {
-					panic(fmt.Sprintf("netsim: link %d capacity went negative: %v", l, cap[l]))
+		// Numerical guard, restricted to the component's links (the
+		// only ones a round can touch): capacities must never go
+		// (meaningfully) negative.
+		for _, l := range scope {
+			if caps[l] < 0 {
+				if caps[l] < -1e-6 {
+					panic(fmt.Sprintf("netsim: link %d capacity went negative: %v", l, caps[l]))
 				}
-				cap[l] = 0
+				caps[l] = 0
 			}
 		}
 		unfixed = next
 	}
+	// Persist each touched link's leftover capacity for the churn fast
+	// paths' saturation test.
+	for _, l := range scope {
+		fb.linkSlack[l] = caps[l]
+	}
+	fb.scopeLinks = scope[:0]
 }
 
 // TopUp adds mb to the flow's remaining volume. The caller is
 // responsible for settling elapsed transfer first (the mr runtime does
-// this inside its mutation scope). Negative mb panics.
+// this inside its mutation scope). Volume does not enter the rate
+// allocation, so TopUp never dirties any link. Negative mb panics.
 func (fb *Fabric) TopUp(f *Flow, mb float64) {
 	if mb < 0 {
 		panic(fmt.Sprintf("netsim: TopUp %q with negative volume %v", f.Label, mb))
@@ -320,76 +754,23 @@ func (fb *Fabric) TopUp(f *Flow, mb float64) {
 	f.RemainingMB += mb
 }
 
-// makeUnfixed seeds the water-filling round: loopbacks get infinite
-// rate immediately, everything else joins the unfixed set and its link
-// counters.
-func (fb *Fabric) makeUnfixed() []*Flow {
-	n := fb.cfg.Nodes
-	racks := fb.cfg.racks()
-	unfixed := fb.scratchFlows()
-	for _, f := range fb.flows {
-		if f.Src == f.Dst {
-			f.rate = math.Inf(1)
-			continue
+// crossesLink reports whether the flow uses link l.
+func (f *Flow) crossesLink(l int32) bool {
+	for i := 0; i < int(f.nlinks); i++ {
+		if f.links[i] == l {
+			return true
 		}
-		fb.cntBuf[f.Src]++
-		fb.cntBuf[n+f.Dst]++
-		if racks > 0 {
-			if rs, rd := fb.cfg.rackOf(f.Src), fb.cfg.rackOf(f.Dst); rs != rd {
-				fb.cntBuf[2*n+rs]++
-				fb.cntBuf[2*n+racks+rd]++
-			}
-		}
-		unfixed = append(unfixed, f)
 	}
-	return unfixed
-}
-
-// crossesLink reports whether flow f uses link l.
-func (fb *Fabric) crossesLink(f *Flow, l int) bool {
-	n := fb.cfg.Nodes
-	racks := fb.cfg.racks()
-	switch {
-	case l < n:
-		return f.Src == l
-	case l < 2*n:
-		return f.Dst == l-n
-	default:
-		rs, rd := fb.cfg.rackOf(f.Src), fb.cfg.rackOf(f.Dst)
-		if rs == rd {
-			return false
-		}
-		if l < 2*n+racks {
-			return rs == l-2*n
-		}
-		return rd == l-2*n-racks
-	}
+	return false
 }
 
 // deduct removes a fixed flow's rate and presence from all its links.
-func (fb *Fabric) deduct(cap []float64, cnt []int, f *Flow, rate float64) {
-	n := fb.cfg.Nodes
-	racks := fb.cfg.racks()
-	cap[f.Src] -= rate
-	cap[n+f.Dst] -= rate
-	cnt[f.Src]--
-	cnt[n+f.Dst]--
-	if racks > 0 {
-		if rs, rd := fb.cfg.rackOf(f.Src), fb.cfg.rackOf(f.Dst); rs != rd {
-			cap[2*n+rs] -= rate
-			cap[2*n+racks+rd] -= rate
-			cnt[2*n+rs]--
-			cnt[2*n+racks+rd]--
-		}
+func (fb *Fabric) deduct(caps []float64, cnts []int, f *Flow, rate float64) {
+	for i := 0; i < int(f.nlinks); i++ {
+		l := f.links[i]
+		caps[l] -= rate
+		cnts[l]--
 	}
-}
-
-// scratchFlows returns a reusable zero-length flow buffer.
-func (fb *Fabric) scratchFlows() []*Flow {
-	if cap(fb.flowScratch) < len(fb.flows) {
-		fb.flowScratch = make([]*Flow, 0, len(fb.flows)*2)
-	}
-	return fb.flowScratch[:0]
 }
 
 // TotalIngress returns the sum of rates currently converging on dst,

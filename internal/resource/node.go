@@ -142,6 +142,11 @@ type Node struct {
 	weight      float64
 	pressure    float64
 	footprintMB float64
+
+	// onChange, when set, runs after every membership change has
+	// recomputed rates. The mr runtime uses it to mark the node's fluid
+	// ops dirty instead of re-reading every op in the cluster.
+	onChange func()
 }
 
 // NewNode builds a node from spec. Invalid specs panic: node specs are
@@ -155,6 +160,10 @@ func NewNode(id int, spec Spec) *Node {
 
 // ID returns the node's cluster-wide identifier.
 func (n *Node) ID() int { return n.id }
+
+// SetChangeHook registers fn to run after every Add or Remove, once the
+// node's activity rates have been recomputed. Pass nil to disable.
+func (n *Node) SetChangeHook(fn func()) { n.onChange = fn }
 
 // Spec returns the node's hardware description.
 func (n *Node) Spec() Spec { return n.spec }
@@ -198,6 +207,9 @@ func (n *Node) Add(a *Activity) {
 	n.pressure += a.Pressure
 	n.footprintMB += a.FootprintMB
 	n.recompute()
+	if n.onChange != nil {
+		n.onChange()
+	}
 }
 
 // Remove unregisters a and recomputes remaining rates. Removing an
@@ -224,6 +236,9 @@ func (n *Node) Remove(a *Activity) {
 		n.weight, n.pressure, n.footprintMB = 0, 0, 0
 	}
 	n.recompute()
+	if n.onChange != nil {
+		n.onChange()
+	}
 }
 
 // Efficiency returns the combined contention×paging factor at the
