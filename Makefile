@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race bench-smoke bench-fluid clean
+.PHONY: all build test check vet race invariants bench-smoke bench-fluid clean
 
 all: check
 
@@ -24,6 +24,12 @@ check: build vet test
 # are where the concurrency lives.
 race:
 	$(GO) test -race ./internal/...
+
+# invariants runs the tier-1 suite with runtime invariant checking
+# forced on. Test binaries already self-enable it; the env var also
+# covers code paths that shell out or rebuild clusters outside tests.
+invariants:
+	SMR_INVARIANTS=1 $(GO) test ./...
 
 # bench-smoke proves the benchmark harness still runs end to end
 # (single iteration of a mid-weight figure), not a measurement.

@@ -50,6 +50,7 @@ func main() {
 	charts := flag.Bool("charts", false, "print an ASCII chart under each figure that has one")
 	extras := flag.Bool("extras", false, "also run the beyond-the-paper experiments (ablations, heterogeneous cluster, schedulers, speculation)")
 	benchJSON := flag.Bool("benchjson", false, "time the fluid-rate resolver (figure macro-runs and netsim churn) and write BENCH_fluid.json instead of running figures")
+	telemPath := flag.String("telemetry", "", "capture a seeded SMapReduce histogram-ratings run, write its telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline instead of running figures")
 	flag.Var(&figs, "fig", "figure number to run (repeatable; default: all)")
 	flag.Parse()
 
@@ -66,6 +67,14 @@ func main() {
 
 	if *benchJSON {
 		if err := writeBenchJSON(cfg, "BENCH_fluid.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *telemPath != "" {
+		if err := captureTelemetry(cfg, *telemPath); err != nil {
 			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -295,6 +304,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smrbench: failed: %s\n", strings.Join(failed, ", "))
 		os.Exit(1)
 	}
+}
+
+// captureTelemetry runs the seeded histogram-ratings workload on
+// SMapReduce with telemetry attached (the Fig. 5/6 trajectory view),
+// writes the series to path and prints the regenerated timeline.
+func captureTelemetry(cfg experiments.Config, path string) error {
+	col, err := experiments.CaptureTimeline(cfg, "histogram-ratings", 100)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		err = col.WriteCSV(f)
+	} else {
+		err = col.WriteJSONL(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d series over %d ticks -> %s\n\n", len(col.Names()), col.Ticks(), path)
+	fmt.Print(experiments.TimelineChart(col))
+	return nil
 }
 
 // Pre-optimisation ns/op for the macro benchmarks (`go test -bench` on

@@ -14,11 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"smapreduce/internal/cli"
 	"smapreduce/internal/core"
+	"smapreduce/internal/experiments"
 	"smapreduce/internal/mr"
 	"smapreduce/internal/puma"
+	"smapreduce/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 		failID      = flag.Int("fail-id", 0, "tracker to kill when -fail-at is set")
 		slowNodes   = flag.Int("slow-nodes", 0, "make the last N nodes half-speed (heterogeneous cluster)")
 		eventsPath  = flag.String("events", "", "write the structured runtime event log (JSONL) to this file")
+		telemPath   = flag.String("telemetry", "", "write the sampled telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline")
 		history     = flag.Bool("history", false, "print the per-job history report")
 	)
 	flag.Parse()
@@ -104,6 +108,14 @@ func main() {
 	if *eventsPath != "" {
 		log = c.EnableEventLog(0)
 	}
+	var telem *telemetry.Collector
+	if *telemPath != "" {
+		telem = telemetry.NewCollector(0)
+		c.EnableTelemetry(telem)
+		if mgr != nil {
+			mgr.RegisterTelemetry(telem)
+		}
+	}
 
 	ran, err := c.Run(specs...)
 	if err != nil {
@@ -121,6 +133,13 @@ func main() {
 		}
 		f.Close()
 		fmt.Fprintf(os.Stderr, "smrsim: wrote %d events to %s\n", len(log.Events()), *eventsPath)
+	}
+	if telem != nil {
+		if err := writeTelemetry(telem, *telemPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smrsim: wrote %d telemetry series (%d ticks) to %s\n",
+			len(telem.Names()), telem.Ticks(), *telemPath)
 	}
 
 	fmt.Printf("engine: %v   cluster: %d workers, %d/%d initial slots\n",
@@ -144,12 +163,30 @@ func main() {
 			fmt.Printf("  %s\n", d)
 		}
 	}
+	if telem != nil {
+		fmt.Println("\nslot/rate timeline:")
+		fmt.Print(experiments.TimelineChart(telem))
+	}
 	if *history {
 		fmt.Println()
 		for _, j := range ran {
 			fmt.Print(j.Report(c).String())
 		}
 	}
+}
+
+// writeTelemetry exports the collector, picking the format from the
+// file extension: CSV for .csv, JSONL otherwise.
+func writeTelemetry(col *telemetry.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return col.WriteCSV(f)
+	}
+	return col.WriteJSONL(f)
 }
 
 func fatal(err error) {

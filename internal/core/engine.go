@@ -5,6 +5,7 @@ import (
 
 	"smapreduce/internal/mr"
 	"smapreduce/internal/stats"
+	"smapreduce/internal/telemetry"
 )
 
 // Engine selects which of the three evaluated systems runs a workload.
@@ -46,6 +47,9 @@ type Options struct {
 	SlotManager SlotManagerConfig
 	// Trace, when non-nil, receives runtime trace lines.
 	Trace func(format string, args ...any)
+	// Telemetry, when non-nil, receives the cluster's probe series
+	// (and, on SMapReduce, the slot manager's) sampled over the run.
+	Telemetry *telemetry.Collector
 }
 
 // Result is the outcome of running a workload on one engine.
@@ -89,6 +93,12 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 		}
 		if err := c.SetController(mgr); err != nil {
 			return nil, err
+		}
+	}
+	if opts.Telemetry != nil {
+		c.EnableTelemetry(opts.Telemetry)
+		if mgr != nil {
+			mgr.RegisterTelemetry(opts.Telemetry)
 		}
 	}
 

@@ -35,6 +35,7 @@ import (
 
 	"smapreduce/internal/mr"
 	"smapreduce/internal/stats"
+	"smapreduce/internal/telemetry"
 )
 
 // SlotManagerConfig tunes the slot manager. Zero values are replaced by
@@ -176,6 +177,10 @@ type SlotManager struct {
 	// lastWindow caches the most recent windowed rates for debugging.
 	lastWindow struct{ inRate, outRate, shufRate float64 }
 
+	// lastFactor is the balance factor f of the most recent
+	// front-stretch tick (NaN until one happens), exposed to telemetry.
+	lastFactor float64
+
 	decisions []Decision
 }
 
@@ -194,6 +199,15 @@ func (m *SlotManager) windowRates(s mr.Stats) (inRate, outRate, shufRate float64
 	// spans it so the window length stays close to RateWindow.
 	cut := s.Now - m.cfg.RateWindow
 	for len(m.samples) > 2 && m.samples[1].t <= cut {
+		m.samples = m.samples[1:]
+	}
+	// After an idle gap (the queue drains between staggered jobs, so no
+	// ticks ran) samples[0] can be arbitrarily stale; a window spanning
+	// hours of zero progress would dilute the first post-gap rates and
+	// misfire the balance factor. Re-anchor so the span never exceeds
+	// ~2× the window, at worst collapsing to the current sample (one
+	// tick of zero rates, then a clean window).
+	for len(m.samples) > 1 && s.Now-m.samples[0].t > 2*m.cfg.RateWindow {
 		m.samples = m.samples[1:]
 	}
 	old := m.samples[0]
@@ -239,7 +253,7 @@ func NewSlotManager(cfg SlotManagerConfig) (*SlotManager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &SlotManager{cfg: cfg, headJob: -1, ratesBySlots: make(map[int]*stats.EWMA)}, nil
+	return &SlotManager{cfg: cfg, headJob: -1, ratesBySlots: make(map[int]*stats.EWMA), lastFactor: math.NaN()}, nil
 }
 
 // MustNewSlotManager is NewSlotManager for static setup.
@@ -254,8 +268,14 @@ func MustNewSlotManager(cfg SlotManagerConfig) *SlotManager {
 // Interval implements mr.Controller.
 func (m *SlotManager) Interval() float64 { return m.cfg.Interval }
 
-// Decisions returns the decision log (for traces, tests and examples).
-func (m *SlotManager) Decisions() []Decision { return m.decisions }
+// Decisions returns a copy of the decision log (for traces, tests and
+// examples); the manager keeps appending to its internal slice, so an
+// alias could mutate under a caller holding it across further ticks.
+func (m *SlotManager) Decisions() []Decision {
+	out := make([]Decision, len(m.decisions))
+	copy(out, m.decisions)
+	return out
+}
 
 // MapTarget returns the current cluster-wide map slot target.
 func (m *SlotManager) MapTarget() int { return m.mapTarget }
@@ -353,6 +373,7 @@ func (m *SlotManager) tick(c *mr.Cluster, s mr.Stats) {
 		debugTick(m, s)
 	}
 	f := m.balanceFactorFrom(s, outRate)
+	m.lastFactor = f
 	switch {
 	case f > m.cfg.UpperBound:
 		// Map-heavy: shuffle has headroom, push the maps — unless a
@@ -528,4 +549,25 @@ func (m *SlotManager) resetForJob(profile string, now float64) {
 	// slow-start gate is what protects the early decisions (§IV-A1).
 	m.lastChangeAt = now - m.cfg.StabilizeDelay
 	m.samples = nil
+	m.lastFactor = math.NaN()
+}
+
+// RegisterTelemetry registers the manager's decision-state series on
+// col: slot targets, windowed rates, the balance factor f and the
+// thrashing-detector state. Call before the cluster runs.
+func (m *SlotManager) RegisterTelemetry(col *telemetry.Collector) {
+	col.Register("slotmgr/map-target", func() float64 { return float64(m.mapTarget) })
+	col.Register("slotmgr/reduce-target", func() float64 { return float64(m.reduceTarget) })
+	col.Register("slotmgr/in-MBps", func() float64 { return m.lastWindow.inRate })
+	col.Register("slotmgr/out-MBps", func() float64 { return m.lastWindow.outRate })
+	col.Register("slotmgr/shuffle-MBps", func() float64 { return m.lastWindow.shufRate })
+	col.Register("slotmgr/balance-f", func() float64 { return m.lastFactor })
+	col.Register("slotmgr/suspects", func() float64 { return float64(m.suspects) })
+	col.Register("slotmgr/ceiling", func() float64 { return float64(m.ceiling) })
+	col.Register("slotmgr/in-tail", func() float64 {
+		if m.inTail {
+			return 1
+		}
+		return 0
+	})
 }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smapreduce/internal/mr"
+)
+
+// counterStats builds the minimal Stats windowRates consumes: the
+// cumulative counters at one instant.
+func counterStats(now, mb float64) mr.Stats {
+	return mr.Stats{Now: now, MapInputProcessedMB: mb, MapOutputProducedMB: mb, ShuffleMovedMB: mb}
+}
+
+// TestWindowRatesIdleGapPruned reproduces the stale-anchor bug: after
+// an idle gap (no ticks while the queue is empty between staggered
+// jobs) the window's oldest sample used to stay anchored hours in the
+// past, so the first post-gap rates were diluted by the dead time. The
+// window span must stay within ~2× RateWindow so rates recover on the
+// next sample.
+func TestWindowRatesIdleGapPruned(t *testing.T) {
+	m := MustNewSlotManager(SlotManagerConfig{})
+	w := m.cfg.RateWindow
+
+	// 20 MB/s for 100 s of ticks every 5 s.
+	for now := 0.0; now <= 100; now += 5 {
+		m.windowRates(counterStats(now, 20*now))
+	}
+	mbAtGap := 20.0 * 100
+
+	// Idle gap: counters frozen, no ticks, until one hour later.
+	in, _, _ := m.windowRates(counterStats(3600, mbAtGap))
+	if in != 0 {
+		t.Fatalf("first post-gap rate = %v, want 0 (window re-anchored)", in)
+	}
+	if span := 3600 - m.samples[0].t; span > 2*w {
+		t.Fatalf("window span %v exceeds 2×RateWindow (%v) after the gap", span, 2*w)
+	}
+
+	// Work resumes at 20 MB/s: the very next tick must see it, not a
+	// rate diluted across the hour of idleness (old behaviour: ~0.03).
+	in, _, _ = m.windowRates(counterStats(3605, mbAtGap+100))
+	if math.Abs(in-20) > 1e-9 {
+		t.Fatalf("post-gap rate = %v, want 20 MB/s", in)
+	}
+}
+
+// TestWindowRatesSteadyStateUnchanged pins the pre-fix behaviour for
+// gap-free runs: continuous ticking never trips the re-anchor path.
+func TestWindowRatesSteadyStateUnchanged(t *testing.T) {
+	m := MustNewSlotManager(SlotManagerConfig{})
+	var in float64
+	for now := 0.0; now <= 300; now += 5 {
+		in, _, _ = m.windowRates(counterStats(now, 20*now))
+	}
+	if math.Abs(in-20) > 1e-9 {
+		t.Fatalf("steady-state rate = %v, want 20 MB/s", in)
+	}
+	// The window keeps one sample spanning RateWindow, as before.
+	if span := 300 - m.samples[0].t; span > 2*m.cfg.RateWindow {
+		t.Fatalf("steady-state window span %v too wide", span)
+	}
+}
+
+func TestDecisionsReturnsCopy(t *testing.T) {
+	m := MustNewSlotManager(SlotManagerConfig{})
+	m.decisions = append(m.decisions, Decision{At: 1, MapTarget: 3, Reason: "grow"})
+	snap := m.Decisions()
+	snap[0].Reason = "mutated"
+	if m.decisions[0].Reason != "grow" {
+		t.Fatal("mutating the returned slice changed the manager's log")
+	}
+	m.decisions = append(m.decisions, Decision{At: 2, MapTarget: 4, Reason: "grow again"})
+	if len(snap) != 1 || snap[0].At != 1 {
+		t.Fatalf("snapshot changed under later appends: %+v", snap)
+	}
+}

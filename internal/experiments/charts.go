@@ -7,6 +7,7 @@ import (
 
 	"smapreduce/internal/core"
 	"smapreduce/internal/metrics"
+	"smapreduce/internal/telemetry"
 )
 
 // Quick-look ASCII charts for the figure results, printed by
@@ -88,6 +89,60 @@ func (r *Fig6Result) Chart() string {
 			engine.String(), metrics.Sparkline(pts, chartWidth), pts[0].V, pts[len(pts)-1].V)
 	}
 	return b.String()
+}
+
+// CaptureTimeline runs one seeded job on SMapReduce with a telemetry
+// collector attached and returns the captured series: the trajectory
+// view behind the paper's Figs. 5–7 time-series plots.
+func CaptureTimeline(cfg Config, bench string, gb float64) (*telemetry.Collector, error) {
+	cfg = cfg.normalize()
+	col := telemetry.NewCollector(0)
+	_, err := core.Run(core.EngineSMapReduce,
+		core.Options{Cluster: cfg.cluster(), Telemetry: col},
+		cfg.spec(bench, gb))
+	if err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// timelineSeries is the subset of captured series the timeline chart
+// plots: the slot targets and occupancy of Fig. 5 and the rate/balance
+// trajectories of Fig. 6, in plot order.
+var timelineSeries = []string{
+	"slotmgr/map-target",
+	"slotmgr/reduce-target",
+	"cluster/running-maps",
+	"cluster/running-reduces",
+	"slotmgr/in-MBps",
+	"slotmgr/out-MBps",
+	"slotmgr/shuffle-MBps",
+	"slotmgr/balance-f",
+	"net/total-MBps",
+	"cluster/map-input-MB",
+}
+
+// TimelineChart regenerates the Figure-5/6-style slot and rate
+// timelines from a captured collector: one sparkline per series with
+// its final value. Series the collector does not carry are skipped, so
+// the chart also renders baseline-engine captures.
+func TimelineChart(col *telemetry.Collector) string {
+	var b strings.Builder
+	for _, name := range timelineSeries {
+		s := col.Get(name)
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s %s  last %.4g\n",
+			name, metrics.Sparkline(s.Points(), chartWidth), s.Last().V)
+	}
+	return b.String()
+}
+
+// TimelineTable renders the captured series as one wide row-per-tick
+// table (the CSV export shape).
+func TimelineTable(col *telemetry.Collector) *metrics.Table {
+	return col.Table()
 }
 
 // Chart renders mean-execution bars — Figs. 8/9.

@@ -89,8 +89,15 @@ func Sparkline(points []Point, width int) string {
 		return ""
 	}
 	ramp := []rune("▁▂▃▄▅▆▇█")
+	// Non-finite samples (a NaN balance factor, an +Inf ratio) are left
+	// out of the scale and rendered at the bottom of the ramp; letting
+	// them into lo/hi would make the index arithmetic non-finite and
+	// int() of that is out of range.
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, p := range points {
+		if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+			continue
+		}
 		lo = math.Min(lo, p.V)
 		hi = math.Max(hi, p.V)
 	}
@@ -110,7 +117,7 @@ func Sparkline(points []Point, width int) string {
 			}
 		}
 		idx := 0
-		if hi > lo {
+		if hi > lo && !math.IsNaN(v) && !math.IsInf(v, 0) {
 			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
 		}
 		out[i] = ramp[idx]

@@ -10,6 +10,7 @@ import (
 	"smapreduce/internal/netsim"
 	"smapreduce/internal/resource"
 	"smapreduce/internal/sim"
+	"smapreduce/internal/telemetry"
 )
 
 // Controller retunes slot targets at runtime; SMapReduce's slot manager
@@ -63,6 +64,14 @@ type Cluster struct {
 
 	// util, when enabled, records cluster-wide utilisation series.
 	util *Utilisation
+
+	// telem, when enabled, samples the registered probe series on the
+	// progress sampler's cadence.
+	telem *telemetry.Collector
+
+	// inv is the runtime invariant checker; nil unless invariant
+	// checking is enabled (test binaries, SMR_INVARIANTS=1).
+	inv *telemetry.Invariants
 }
 
 // Utilisation holds cluster-wide time series sampled on the progress
@@ -85,6 +94,78 @@ func (c *Cluster) EnableUtilisation() *Utilisation {
 	return c.util
 }
 
+// EnableTelemetry attaches a collector and registers the cluster's
+// probe series: cluster-wide task counts and cumulative MB counters,
+// per-tracker slot targets and occupancy, per-node CPU utilisation and
+// the aggregate fabric throughput. Call before Run; every series is
+// sampled on the progress sampler's cadence (Config.SampleInterval).
+func (c *Cluster) EnableTelemetry(col *telemetry.Collector) {
+	c.telem = col
+	col.Register("cluster/running-maps", func() float64 {
+		n := 0
+		for _, tt := range c.trackers {
+			n += len(tt.runningMaps)
+		}
+		return float64(n)
+	})
+	col.Register("cluster/running-reduces", func() float64 {
+		n := 0
+		for _, tt := range c.trackers {
+			n += len(tt.runningReduces)
+		}
+		return float64(n)
+	})
+	col.Register("cluster/pending-maps", func() float64 { return float64(c.jt.PendingMapCount()) })
+	col.Register("cluster/pending-reduces", func() float64 { return float64(c.jt.PendingReduceCount()) })
+	col.Register("cluster/map-input-MB", func() float64 {
+		s := 0.0
+		for _, tt := range c.trackers {
+			s += tt.mapInputDoneMB + tt.inFlightMapInputMB()
+		}
+		return s
+	})
+	col.Register("cluster/map-output-MB", func() float64 {
+		s := 0.0
+		for _, tt := range c.trackers {
+			s += tt.mapOutputDoneMB + tt.inFlightMapOutputMB()
+		}
+		return s
+	})
+	col.Register("cluster/shuffle-MB", func() float64 {
+		s := 0.0
+		for _, tt := range c.trackers {
+			s += tt.shuffleDoneMB + tt.inFlightShuffleMB()
+		}
+		return s
+	})
+	col.Register("cluster/map-input-MBps", func() float64 {
+		s := 0.0
+		for _, tt := range c.trackers {
+			s += tt.mapInputRate.Value()
+		}
+		return s
+	})
+	col.Register("cluster/shuffle-MBps", func() float64 {
+		s := 0.0
+		for _, tt := range c.trackers {
+			s += tt.shuffleRate.Value()
+		}
+		return s
+	})
+	col.Register("net/total-MBps", c.fabric.TotalRate)
+	for i, tt := range c.trackers {
+		tt := tt
+		col.Register(fmt.Sprintf("tt%d/map-slots", i), func() float64 { return float64(tt.mapTarget) })
+		col.Register(fmt.Sprintf("tt%d/reduce-slots", i), func() float64 { return float64(tt.reduceTarget) })
+		col.Register(fmt.Sprintf("tt%d/running-maps", i), func() float64 { return float64(len(tt.runningMaps)) })
+		col.Register(fmt.Sprintf("tt%d/running-reduces", i), func() float64 { return float64(len(tt.runningReduces)) })
+	}
+	for i, node := range c.nodes {
+		node := node
+		col.Register(fmt.Sprintf("node%d/cpu-util", i), node.Utilisation)
+	}
+}
+
 // NewCluster builds a cluster from cfg. Invalid configs return an error.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
@@ -100,6 +181,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		fabric:  netsim.NewFabric(net),
 		fs:      dfs.New(cfg.Workers, cfg.DFS, rng.Fork(1)),
 		nodeOps: make([][]*fluidOp, cfg.Workers),
+		inv:     telemetry.NewInvariants(),
 	}
 	// The runtime batches flow changes per mutation scope and resolves
 	// perturbed components once in refreshDirty. The rate listener
@@ -279,6 +361,15 @@ func (c *Cluster) scheduleSampler() {
 			c.util.RunningReduces.Add(now, float64(runningReduces))
 			c.util.MapInputMBps.Add(now, inRate)
 			c.util.ShuffleMBps.Add(now, shufRate)
+		}
+		if c.inv != nil {
+			c.inv.CheckSample(now)
+			for _, tt := range c.trackers {
+				c.inv.CheckCounters(tt.id, tt.mapInputDoneMB, tt.mapOutputDoneMB, tt.shuffleDoneMB)
+			}
+		}
+		if c.telem != nil {
+			c.telem.Tick(now)
 		}
 		if !c.stopped {
 			c.scheduleSampler()

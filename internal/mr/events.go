@@ -61,19 +61,33 @@ func (c *Cluster) emit(kind EventKind, job, task string, tracker int, detail str
 	}
 	l := c.events
 	if len(l.events) >= l.limit {
-		// Drop the oldest half in one amortised move.
+		// Drop the oldest half in one amortised move — at least one
+		// entry, so tiny limits still evict.
 		half := l.limit / 2
-		copy(l.events, l.events[half:])
-		l.events = l.events[:len(l.events)-half]
+		if half < 1 {
+			half = 1
+		}
+		n := copy(l.events, l.events[half:])
+		l.events = l.events[:n]
 		l.Dropped += half
 	}
 	l.events = append(l.events, Event{
 		At: c.clock.Now(), Kind: kind, Job: job, Task: task, Tracker: tracker, Detail: detail,
 	})
+	if c.inv != nil {
+		e := &l.events[len(l.events)-1]
+		c.inv.CheckEventAppend(e.At, len(l.events), l.limit)
+	}
 }
 
-// Events returns the collected events in emission order.
-func (l *EventLog) Events() []Event { return l.events }
+// Events returns a copy of the collected events in emission order. The
+// log compacts its storage in place on eviction, so handing out the
+// internal slice would let retained snapshots mutate under the caller.
+func (l *EventLog) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
 
 // Filter returns the events of one kind, in order.
 func (l *EventLog) Filter(kind EventKind) []Event {

@@ -1,6 +1,9 @@
 package mr
 
 import (
+	"encoding/json"
+	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -88,6 +91,97 @@ func TestEventLogCapDropsOldest(t *testing.T) {
 	evs := log.Events()
 	if evs[len(evs)-1].Kind != EvJobFinished {
 		t.Fatalf("last event = %s", evs[len(evs)-1].Kind)
+	}
+}
+
+// emitN emits n synthetic events with sequential Detail payloads so
+// eviction tests can identify exactly which entries survived.
+func emitN(c *Cluster, n int) {
+	for i := 0; i < n; i++ {
+		c.emit(EvSlotChange, "job", "", 0, strconv.Itoa(i))
+	}
+}
+
+func TestEventLogLimitOneStillEvicts(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	log := c.EnableEventLog(1)
+	emitN(c, 5)
+	if n := len(log.Events()); n != 1 {
+		t.Fatalf("log length = %d, want 1 (eviction was a no-op for limit 1)", n)
+	}
+	if log.Dropped != 4 {
+		t.Fatalf("Dropped = %d, want 4", log.Dropped)
+	}
+	if got := log.Events()[0].Detail; got != "4" {
+		t.Fatalf("surviving event = %q, want the newest (\"4\")", got)
+	}
+}
+
+func TestEventLogDroppedAccounting(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	const limit, emitted = 8, 50
+	log := c.EnableEventLog(limit)
+	emitN(c, emitted)
+	evs := log.Events()
+	if len(evs) > limit {
+		t.Fatalf("log length %d exceeds limit %d", len(evs), limit)
+	}
+	if log.Dropped+len(evs) != emitted {
+		t.Fatalf("Dropped (%d) + retained (%d) != emitted (%d)", log.Dropped, len(evs), emitted)
+	}
+	// The retained window is the contiguous newest suffix.
+	for i, e := range evs {
+		if want := strconv.Itoa(log.Dropped + i); e.Detail != want {
+			t.Fatalf("event %d detail = %q, want %q", i, e.Detail, want)
+		}
+	}
+}
+
+func TestEventLogJSONLAfterEviction(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	const limit, emitted = 8, 50
+	log := c.EnableEventLog(limit)
+	emitN(c, emitted)
+	var b strings.Builder
+	if err := log.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	evs := log.Events()
+	if len(lines) != len(evs) {
+		t.Fatalf("jsonl lines = %d, events = %d", len(lines), len(evs))
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if e.Detail != evs[i].Detail {
+			t.Fatalf("line %d detail = %q, events()[%d] = %q", i, e.Detail, i, evs[i].Detail)
+		}
+		if want := strconv.Itoa(log.Dropped + i); e.Detail != want {
+			t.Fatalf("line %d detail = %q, want %q (ordering after eviction)", i, e.Detail, want)
+		}
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	c := MustNewCluster(smallConfig())
+	log := c.EnableEventLog(4)
+	emitN(c, 4)
+	snap := log.Events()
+	before := fmt.Sprint(snap)
+	// Trigger an in-place compaction plus further appends; a snapshot
+	// aliasing the internal slice would see its entries rewritten.
+	emitN(c, 10)
+	if after := fmt.Sprint(snap); after != before {
+		t.Fatalf("snapshot mutated by later events:\nbefore %s\nafter  %s", before, after)
+	}
+	// Mutating the snapshot must not leak into the log.
+	snap2 := log.Events()
+	snap2[0].Detail = "mutated"
+	if log.Events()[0].Detail == "mutated" {
+		t.Fatal("mutating the returned slice changed the log")
 	}
 }
 

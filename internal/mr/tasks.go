@@ -27,6 +27,10 @@ func (c *Cluster) launchMap(tt *TaskTracker, m *mapTask) {
 		m.shuffleMB *= c.cfg.CompressionRatio
 	}
 	tt.runningMaps[m] = struct{}{}
+	if c.inv != nil && c.cfg.Policy != YARN {
+		// Under YARN the memory pool, not mapTarget, bounds occupancy.
+		c.inv.CheckMapLaunch(tt.id, len(tt.runningMaps), tt.mapTarget)
+	}
 	c.emit(EvTaskStarted, m.job.Spec.Name, fmt.Sprintf("map/%d", m.id), tt.id, "")
 	if m.job.Started < 0 {
 		m.job.Started = c.clock.Now()
@@ -307,6 +311,9 @@ func (c *Cluster) launchReduce(tt *TaskTracker, r *reduceTask) {
 	r.tracker = tt
 	r.phase = 0
 	tt.runningReduces[r] = struct{}{}
+	if c.inv != nil && c.cfg.Policy != YARN {
+		c.inv.CheckReduceLaunch(tt.id, len(tt.runningReduces), tt.reduceTarget)
+	}
 	c.emit(EvTaskStarted, r.job.Spec.Name, fmt.Sprintf("reduce/%d", r.partition), tt.id, "")
 	if r.job.Started < 0 {
 		r.job.Started = c.clock.Now()

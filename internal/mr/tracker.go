@@ -148,6 +148,7 @@ func (tt *TaskTracker) setTargets(maps, reduces int) {
 	if maps <= 0 || reduces <= 0 {
 		panic(fmt.Sprintf("mr: tracker %d given non-positive slot targets %d/%d", tt.id, maps, reduces))
 	}
+	tt.c.inv.CheckSlotTargets(tt.id, maps, reduces, tt.c.cfg.MaxMapSlots, tt.c.cfg.MaxReduceSlots)
 	tt.mapTarget = maps
 	tt.reduceTarget = reduces
 	tt.c.emit(EvSlotChange, "", "", tt.id, fmt.Sprintf("%d/%d", maps, reduces))

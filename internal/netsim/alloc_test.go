@@ -1,0 +1,46 @@
+package netsim
+
+import "testing"
+
+// TestChurnResolveDirtyAllocFree guards the resolver hot path's
+// steady-state allocation behaviour: one churn cycle (remove a flow,
+// add its replacement, ResolveDirty) on the benchmark topology — 32
+// link-disjoint reducer fan-ins on a 128-node fabric — must allocate
+// nothing beyond the replacement Flow the harness itself constructs.
+// The telemetry/invariant layer must not regress this: when disabled
+// it adds no work here at all.
+func TestChurnResolveDirtyAllocFree(t *testing.T) {
+	fb := NewFabric(DefaultConfig(128))
+	fb.SetAutoRecompute(false)
+	var live []*Flow
+	for g := 0; g < 32; g++ {
+		dst := 4 * g
+		for k := 0; k < 5; k++ {
+			f := &Flow{Src: dst + 1 + k%3, Dst: dst, RemainingMB: 100, CapMBps: 3.5}
+			fb.Add(f)
+			live = append(live, f)
+		}
+	}
+	fb.Recompute()
+
+	i := 0
+	churn := func() {
+		j := i % len(live)
+		i++
+		old := live[j]
+		fb.Remove(old)
+		nf := &Flow{Src: old.Src, Dst: old.Dst, RemainingMB: 100, CapMBps: 3.5}
+		fb.Add(nf)
+		live[j] = nf
+		fb.ResolveDirty()
+	}
+	// Warm up so internal scratch buffers reach steady-state capacity.
+	for k := 0; k < 2000; k++ {
+		churn()
+	}
+	avg := testing.AllocsPerRun(2000, churn)
+	// Exactly one allocation per cycle: the harness's replacement Flow.
+	if avg > 1 {
+		t.Fatalf("churn cycle allocates %.2f objects/op, want 1 (the Flow itself)", avg)
+	}
+}

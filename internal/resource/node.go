@@ -271,6 +271,15 @@ func (n *Node) CPUThroughput() float64 {
 	return n.spec.CoreSpeed * parallel * n.Efficiency()
 }
 
+// Utilisation returns the fraction of the node's nominal peak CPU
+// throughput (Cores × CoreSpeed) currently being delivered, in [0, 1].
+// Contention and paging push effective throughput below nominal, so a
+// thrashing node reads as *less* utilised — exactly the signal the
+// paper's Fig. 1 curves plot.
+func (n *Node) Utilisation() float64 {
+	return n.CPUThroughput() / (float64(n.spec.Cores) * n.spec.CoreSpeed)
+}
+
 // ThroughputCurve predicts the total CPU throughput the node would
 // deliver running exactly k identical tasks with the given per-task
 // pressure and footprint. This is the analytic curve of Fig. 1 and is

@@ -1,0 +1,232 @@
+// Package telemetry provides the tick-sampled time-series layer the
+// runtime exposes for inspection: a Collector of named probe series
+// sampled on the cluster's progress cadence, ring-buffered so long
+// runs stay bounded, exportable as JSONL or CSV, plus the runtime
+// invariant checker (invariants.go) built on the same observation
+// points.
+//
+// The collector is pull-based: components register probe closures once
+// during setup, and every Tick samples all of them at the same virtual
+// instant. All series therefore stay row-aligned — equal lengths, equal
+// timestamps — which makes the wide-table exports trivially correct.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"smapreduce/internal/metrics"
+)
+
+// DefaultCapacity is the per-series ring capacity used when the caller
+// passes a non-positive capacity to NewCollector. At the default 2 s
+// sampling cadence it retains over four virtual hours.
+const DefaultCapacity = 8192
+
+// Series is a fixed-capacity ring buffer of time samples. Once full,
+// each append evicts the oldest sample and counts it in Dropped.
+// Timestamps must be non-decreasing; Append panics otherwise, because
+// an out-of-order sample always indicates a probe wiring bug.
+type Series struct {
+	name    string
+	buf     []metrics.Point
+	head    int // index of the oldest retained sample
+	n       int
+	dropped int
+	lastT   float64
+	primed  bool
+}
+
+// NewSeries returns an empty ring series with the given capacity
+// (non-positive means DefaultCapacity).
+func NewSeries(name string, capacity int) *Series {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Series{name: name, buf: make([]metrics.Point, capacity)}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int { return s.n }
+
+// Cap returns the ring capacity.
+func (s *Series) Cap() int { return len(s.buf) }
+
+// Dropped returns how many old samples the ring has evicted.
+func (s *Series) Dropped() int { return s.dropped }
+
+// Append records one sample. Panics if t precedes the previous sample.
+func (s *Series) Append(t, v float64) {
+	if s.primed && t < s.lastT {
+		panic(fmt.Sprintf("telemetry: series %q sample at %v before last %v", s.name, t, s.lastT))
+	}
+	s.lastT, s.primed = t, true
+	if s.n == len(s.buf) {
+		s.buf[s.head] = metrics.Point{T: t, V: v}
+		s.head = (s.head + 1) % len(s.buf)
+		s.dropped++
+		return
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = metrics.Point{T: t, V: v}
+	s.n++
+}
+
+// At returns the i-th oldest retained sample, 0 <= i < Len.
+func (s *Series) At(i int) metrics.Point {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("telemetry: series %q index %d out of range [0,%d)", s.name, i, s.n))
+	}
+	return s.buf[(s.head+i)%len(s.buf)]
+}
+
+// Last returns the newest sample, or a zero Point when empty.
+func (s *Series) Last() metrics.Point {
+	if s.n == 0 {
+		return metrics.Point{}
+	}
+	return s.At(s.n - 1)
+}
+
+// Points returns the retained samples oldest-first, as a copy the
+// caller may keep across further appends.
+func (s *Series) Points() []metrics.Point {
+	out := make([]metrics.Point, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.At(i)
+	}
+	return out
+}
+
+// probe pairs a registered series with the closure that samples it.
+type probe struct {
+	s  *Series
+	fn func() float64
+}
+
+// Collector samples a set of named probes on every Tick. Registration
+// is only allowed before the first Tick so that every series has one
+// sample per tick and all series stay aligned.
+type Collector struct {
+	capacity int
+	probes   []probe
+	byName   map[string]*Series
+	ticks    int
+}
+
+// NewCollector returns an empty collector whose series each retain up
+// to capacity samples (non-positive means DefaultCapacity).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Collector{capacity: capacity, byName: make(map[string]*Series)}
+}
+
+// Register adds a named probe and returns its series. Panics on a
+// duplicate name or after the first Tick.
+func (c *Collector) Register(name string, fn func() float64) *Series {
+	if c.ticks > 0 {
+		panic(fmt.Sprintf("telemetry: Register(%q) after the first Tick would misalign series", name))
+	}
+	if _, dup := c.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate series %q", name))
+	}
+	s := NewSeries(name, c.capacity)
+	c.byName[name] = s
+	c.probes = append(c.probes, probe{s: s, fn: fn})
+	return s
+}
+
+// Tick samples every registered probe at virtual time now.
+func (c *Collector) Tick(now float64) {
+	c.ticks++
+	for _, p := range c.probes {
+		p.s.Append(now, p.fn())
+	}
+}
+
+// Ticks returns how many times Tick has run.
+func (c *Collector) Ticks() int { return c.ticks }
+
+// Names returns the series names in registration order.
+func (c *Collector) Names() []string {
+	out := make([]string, len(c.probes))
+	for i, p := range c.probes {
+		out[i] = p.s.name
+	}
+	return out
+}
+
+// Get returns the named series, or nil if not registered.
+func (c *Collector) Get(name string) *Series { return c.byName[name] }
+
+// Table renders the retained samples as a wide table: one row per
+// tick, a "t" column plus one column per series. All series are
+// row-aligned by construction.
+func (c *Collector) Table() *metrics.Table {
+	cols := append([]string{"t"}, c.Names()...)
+	t := metrics.NewTable("telemetry", cols...)
+	if len(c.probes) == 0 {
+		return t
+	}
+	first := c.probes[0].s
+	for i := 0; i < first.Len(); i++ {
+		row := make([]string, 0, len(cols))
+		row = append(row, formatValue(first.At(i).T))
+		for _, p := range c.probes {
+			row = append(row, formatValue(p.s.At(i).V))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// WriteCSV writes the wide table as CSV.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	_, err := io.WriteString(w, c.Table().CSV())
+	return err
+}
+
+// WriteJSONL writes one JSON object per retained sample, grouped by
+// series and time-ordered within each:
+//
+//	{"series":"slotmgr/map-target","t":42,"v":3}
+//
+// Non-finite values (the balance factor is NaN before any map output
+// and +Inf for map-only jobs) are emitted as null, since JSON cannot
+// encode them.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range c.probes {
+		name := strconv.Quote(p.s.name)
+		for i := 0; i < p.s.Len(); i++ {
+			pt := p.s.At(i)
+			if _, err := fmt.Fprintf(bw, "{\"series\":%s,\"t\":%s,\"v\":%s}\n",
+				name, jsonNumber(pt.T), jsonNumber(pt.V)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonNumber formats v as a JSON value, mapping non-finite to null.
+func jsonNumber(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatValue renders a float for the table/CSV exports. Non-finite
+// values keep their Go spelling (NaN, +Inf), which plotting tools
+// commonly accept as missing data.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
