@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race invariants bench-smoke bench-fluid clean
+.PHONY: all build test check vet race invariants bench-smoke bench-fluid trace-smoke clean
 
 all: check
 
@@ -41,5 +41,15 @@ bench-smoke:
 bench-fluid:
 	$(GO) run ./cmd/smrbench -benchjson
 
+# trace-smoke proves the observability pipeline end to end: a traced
+# default run must produce a valid Chrome trace (tracecheck) and a
+# telemetry CSV.
+trace-smoke:
+	$(GO) run ./cmd/smrsim -bench terasort -input-gb 10 \
+		-trace trace-smoke.json -telemetry trace-smoke.csv -explain
+	$(GO) run ./cmd/tracecheck trace-smoke.json
+	head -1 trace-smoke.csv
+
 clean:
 	rm -f smapreduce.test mr.test netsim.test
+	rm -f trace-smoke.json trace-smoke.csv

@@ -24,6 +24,8 @@ import (
 	"smapreduce/internal/experiments"
 	"smapreduce/internal/metrics"
 	"smapreduce/internal/netsim"
+	"smapreduce/internal/telemetry"
+	"smapreduce/internal/trace"
 )
 
 // figList collects repeated -fig flags.
@@ -51,6 +53,7 @@ func main() {
 	extras := flag.Bool("extras", false, "also run the beyond-the-paper experiments (ablations, heterogeneous cluster, schedulers, speculation)")
 	benchJSON := flag.Bool("benchjson", false, "time the fluid-rate resolver (figure macro-runs and netsim churn) and write BENCH_fluid.json instead of running figures")
 	telemPath := flag.String("telemetry", "", "capture a seeded SMapReduce histogram-ratings run, write its telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline instead of running figures")
+	tracePath := flag.String("trace", "", "capture a seeded SMapReduce histogram-ratings run and write its Chrome trace-event JSON to this file (combinable with -telemetry) instead of running figures")
 	flag.Var(&figs, "fig", "figure number to run (repeatable; default: all)")
 	flag.Parse()
 
@@ -73,8 +76,8 @@ func main() {
 		return
 	}
 
-	if *telemPath != "" {
-		if err := captureTelemetry(cfg, *telemPath); err != nil {
+	if *telemPath != "" || *tracePath != "" {
+		if err := captureTelemetry(cfg, *telemPath, *tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -307,27 +310,39 @@ func main() {
 }
 
 // captureTelemetry runs the seeded histogram-ratings workload on
-// SMapReduce with telemetry attached (the Fig. 5/6 trajectory view),
-// writes the series to path and prints the regenerated timeline.
-func captureTelemetry(cfg experiments.Config, path string) error {
-	col, err := experiments.CaptureTimeline(cfg, "histogram-ratings", 100)
+// SMapReduce with telemetry (and, when tracePath is set, span tracing)
+// attached — the Fig. 5/6 trajectory view — writes the requested
+// files and prints the regenerated timeline.
+func captureTelemetry(cfg experiments.Config, telemPath, tracePath string) error {
+	var tr *trace.Tracer
+	if tracePath != "" {
+		tr = trace.New(trace.Options{})
+	}
+	col, err := experiments.CaptureTimelineTraced(cfg, "histogram-ratings", 100, tr)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if telemPath != "" {
+		if err := telemetry.WriteFile(col, telemPath); err != nil {
+			return err
+		}
+		fmt.Printf("captured %d series over %d ticks -> %s\n", len(col.Names()), col.Ticks(), telemPath)
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".csv") {
-		err = col.WriteCSV(f)
-	} else {
-		err = col.WriteJSONL(f)
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		err = tr.WriteChromeJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("captured %d trace events -> %s (open in Perfetto)\n", tr.Len(), tracePath)
 	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("captured %d series over %d ticks -> %s\n\n", len(col.Names()), col.Ticks(), path)
+	fmt.Println()
 	fmt.Print(experiments.TimelineChart(col))
 	return nil
 }

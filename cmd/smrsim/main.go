@@ -6,15 +6,16 @@
 //
 //	smrsim -engine smapreduce -bench terasort -input-gb 100
 //	smrsim -engine hadoopv1 -bench grep -workers 16 -map-slots 3
-//	smrsim -bench inverted-index -jobs 4 -stagger 5 -trace
+//	smrsim -bench inverted-index -jobs 4 -stagger 5 -tracelog
 //	smrsim -bench grep -speculate -slow-nodes 4 -fail-at 30 -fail-id 2
+//	smrsim -bench terasort -trace run.json -tracev 1 -explain
+//	smrsim -bench terasort -serve :8080 -telemetry run.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"smapreduce/internal/cli"
 	"smapreduce/internal/core"
@@ -22,6 +23,7 @@ import (
 	"smapreduce/internal/mr"
 	"smapreduce/internal/puma"
 	"smapreduce/internal/telemetry"
+	"smapreduce/internal/trace"
 )
 
 func main() {
@@ -36,7 +38,11 @@ func main() {
 		mapSlots    = flag.Int("map-slots", 3, "initial map slots per tracker")
 		reduceSlots = flag.Int("reduce-slots", 2, "initial reduce slots per tracker")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
-		trace       = flag.Bool("trace", false, "print runtime trace lines")
+		traceLog    = flag.Bool("tracelog", false, "print runtime trace lines")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
+		traceV      = flag.Int("tracev", 0, "trace verbosity: 0 tasks+decisions, 1 +shuffle flows, 2 +all fabric flows")
+		explain     = flag.Bool("explain", false, "print the slot manager's decision audit trail (full inputs per decision)")
+		serveAddr   = flag.String("serve", "", "serve the observability endpoint on this address (/metrics, /trace, /healthz, /debug/pprof) and stay up after the run")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 		scheduler   = flag.String("scheduler", "fifo", "job scheduler: fifo | fair")
 		speculate   = flag.Bool("speculate", false, "enable speculative map execution")
@@ -91,7 +97,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *trace {
+	if *traceLog {
 		c.Trace = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
 	}
 	var mgr *core.SlotManager
@@ -109,17 +115,37 @@ func main() {
 		log = c.EnableEventLog(0)
 	}
 	var telem *telemetry.Collector
-	if *telemPath != "" {
+	if *telemPath != "" || *serveAddr != "" {
 		telem = telemetry.NewCollector(0)
 		c.EnableTelemetry(telem)
 		if mgr != nil {
 			mgr.RegisterTelemetry(telem)
 		}
 	}
+	var tracer *trace.Tracer
+	if *tracePath != "" || *serveAddr != "" {
+		tracer = trace.New(trace.Options{Verbosity: *traceV})
+		c.EnableTracing(tracer)
+		if mgr != nil {
+			mgr.AttachTracer(tracer)
+		}
+	}
+
+	var srv *observabilityServer
+	if *serveAddr != "" {
+		srv, err = serveObservability(*serveAddr, telem, tracer)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smrsim: serving /metrics /trace /healthz /debug/pprof on %s\n", srv.Addr())
+	}
 
 	ran, err := c.Run(specs...)
 	if err != nil {
 		fatal(err)
+	}
+	if srv != nil {
+		srv.MarkDone()
 	}
 
 	if log != nil {
@@ -134,12 +160,27 @@ func main() {
 		f.Close()
 		fmt.Fprintf(os.Stderr, "smrsim: wrote %d events to %s\n", len(log.Events()), *eventsPath)
 	}
-	if telem != nil {
-		if err := writeTelemetry(telem, *telemPath); err != nil {
+	if *telemPath != "" {
+		if err := telemetry.WriteFile(telem, *telemPath); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "smrsim: wrote %d telemetry series (%d ticks) to %s\n",
 			len(telem.Names()), telem.Ticks(), *telemPath)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smrsim: wrote %d trace events to %s (open in Perfetto)\n",
+			tracer.Len(), *tracePath)
 	}
 
 	fmt.Printf("engine: %v   cluster: %d workers, %d/%d initial slots\n",
@@ -163,7 +204,23 @@ func main() {
 			fmt.Printf("  %s\n", d)
 		}
 	}
-	if telem != nil {
+	if *explain {
+		if mgr == nil {
+			fmt.Println("\n-explain: no slot manager (pick -engine smapreduce)")
+		} else if audits := mgr.Explain(); len(audits) == 0 {
+			fmt.Println("\n-explain: the slot manager made no decisions")
+		} else {
+			fmt.Println("\nslot manager audit trail:")
+			for i, a := range audits {
+				fmt.Printf("decision %d\n%s", i, a.String())
+			}
+		}
+	}
+	if tracer != nil {
+		fmt.Println("\ntrace summary:")
+		fmt.Print(tracer.Summary())
+	}
+	if *telemPath != "" {
 		fmt.Println("\nslot/rate timeline:")
 		fmt.Print(experiments.TimelineChart(telem))
 	}
@@ -173,20 +230,11 @@ func main() {
 			fmt.Print(j.Report(c).String())
 		}
 	}
-}
 
-// writeTelemetry exports the collector, picking the format from the
-// file extension: CSV for .csv, JSONL otherwise.
-func writeTelemetry(col *telemetry.Collector, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "smrsim: run finished; still serving on %s (Ctrl-C to exit)\n", srv.Addr())
+		srv.Wait()
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".csv") {
-		return col.WriteCSV(f)
-	}
-	return col.WriteJSONL(f)
 }
 
 func fatal(err error) {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+
+	"smapreduce/internal/telemetry"
+	"smapreduce/internal/trace"
+)
+
+// observabilityServer exposes a run's collector and tracer over HTTP:
+//
+//	/metrics       Prometheus text (gauges, newest sample per series)
+//	/trace         Chrome trace-event JSON of everything recorded so far
+//	/healthz       {"status":"running"|"done"}
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// The collector and tracer are internally locked, so the endpoints are
+// safe to hit while the simulation is still running — /trace downloads
+// a consistent mid-run snapshot (open spans export as begin-only
+// events).
+type observabilityServer struct {
+	ln   net.Listener
+	done atomic.Bool
+	errc chan error
+}
+
+// serveObservability binds addr and starts serving in the background.
+// col and tr may each be nil; their endpoints then report 404.
+func serveObservability(addr string, col *telemetry.Collector, tr *trace.Tracer) (*observabilityServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &observabilityServer{ln: ln, errc: make(chan error, 1)}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		status := "running"
+		if s.done.Load() {
+			status = "done"
+		}
+		fmt.Fprintf(w, "{\"status\":%q}\n", status)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if col == nil {
+			http.Error(w, "telemetry not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		col.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", "attachment; filename=\"smrsim-trace.json\"")
+		tr.WriteChromeJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	go func() { s.errc <- http.Serve(ln, mux) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *observabilityServer) Addr() string { return s.ln.Addr().String() }
+
+// MarkDone flips /healthz to "done".
+func (s *observabilityServer) MarkDone() { s.done.Store(true) }
+
+// Wait blocks until the server stops (normally never — Ctrl-C exits).
+func (s *observabilityServer) Wait() error { return <-s.errc }

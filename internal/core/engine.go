@@ -6,6 +6,7 @@ import (
 	"smapreduce/internal/mr"
 	"smapreduce/internal/stats"
 	"smapreduce/internal/telemetry"
+	"smapreduce/internal/trace"
 )
 
 // Engine selects which of the three evaluated systems runs a workload.
@@ -50,6 +51,9 @@ type Options struct {
 	// Telemetry, when non-nil, receives the cluster's probe series
 	// (and, on SMapReduce, the slot manager's) sampled over the run.
 	Telemetry *telemetry.Collector
+	// Tracer, when non-nil, records span/instant traces of the run
+	// (task lifecycles, slot-manager decisions, flows by verbosity).
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of running a workload on one engine.
@@ -58,6 +62,9 @@ type Result struct {
 	Jobs   []*mr.Job
 	// Decisions is the slot manager's log (SMapReduce only).
 	Decisions []Decision
+	// Audits carries the full-input audit record behind each decision,
+	// index-aligned with Decisions (SMapReduce only).
+	Audits []AuditRecord
 }
 
 // Run executes the given jobs on the chosen engine and returns the
@@ -101,6 +108,12 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 			mgr.RegisterTelemetry(opts.Telemetry)
 		}
 	}
+	if opts.Tracer.Enabled() {
+		c.EnableTracing(opts.Tracer)
+		if mgr != nil {
+			mgr.AttachTracer(opts.Tracer)
+		}
+	}
 
 	jobs, err := c.Run(specs...)
 	if err != nil {
@@ -109,6 +122,7 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 	res.Jobs = jobs
 	if mgr != nil {
 		res.Decisions = mgr.Decisions()
+		res.Audits = mgr.Explain()
 	}
 	return res, nil
 }

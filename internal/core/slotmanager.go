@@ -36,6 +36,7 @@ import (
 	"smapreduce/internal/mr"
 	"smapreduce/internal/stats"
 	"smapreduce/internal/telemetry"
+	"smapreduce/internal/trace"
 )
 
 // SlotManagerConfig tunes the slot manager. Zero values are replaced by
@@ -182,6 +183,14 @@ type SlotManager struct {
 	lastFactor float64
 
 	decisions []Decision
+
+	// audits holds one full-input record per decision, index-aligned
+	// with decisions (see AuditRecord).
+	audits []AuditRecord
+
+	// tr, when attached, receives decision/thrash/tail instants on the
+	// controller track. Nil when tracing is off.
+	tr *trace.Tracer
 }
 
 // rateSample is one tick's cumulative counter snapshot.
@@ -277,6 +286,15 @@ func (m *SlotManager) Decisions() []Decision {
 	return out
 }
 
+// AttachTracer points the manager's decision instants at tr. Call
+// before the cluster runs; a nil tr keeps tracing off.
+func (m *SlotManager) AttachTracer(tr *trace.Tracer) {
+	m.tr = tr
+	if tr.Enabled() {
+		tr.SetTrackName(trace.PIDController, "slot manager")
+	}
+}
+
 // MapTarget returns the current cluster-wide map slot target.
 func (m *SlotManager) MapTarget() int { return m.mapTarget }
 
@@ -358,6 +376,12 @@ func (m *SlotManager) tick(c *mr.Cluster, s mr.Stats) {
 			if prev, ok := m.ratesBySlots[m.mapTarget-1]; ok && prev.Count() > 0 && e.Count() > 0 {
 				if e.Value() < prev.Value() {
 					m.suspects++
+					if m.tr.Enabled() {
+						m.tr.Instant(s.Now, trace.PIDController, "thrash", "thrash-suspect",
+							trace.Num("map-slots", float64(m.mapTarget)),
+							trace.Num("rate", e.Value()), trace.Num("prev-rate", prev.Value()),
+							trace.Num("suspects", float64(m.suspects)))
+					}
 					if m.suspects >= m.cfg.SuspectConfirmations {
 						m.confirmThrashing(c, s)
 						return
@@ -402,7 +426,7 @@ func (m *SlotManager) tick(c *mr.Cluster, s mr.Stats) {
 		if next > m.maxMaps {
 			return
 		}
-		m.setTargets(c, s, next, m.reduceTarget, f, "map-heavy: shuffle ahead of maps")
+		m.setTargets(c, s, next, m.reduceTarget, f, ReasonMapHeavy)
 	case f < m.cfg.LowerBound:
 		if !stable {
 			return
@@ -410,7 +434,7 @@ func (m *SlotManager) tick(c *mr.Cluster, s mr.Stats) {
 		if m.mapTarget <= 1 {
 			return
 		}
-		m.setTargets(c, s, m.mapTarget-1, m.reduceTarget, f, "reduce-heavy: shuffle lagging")
+		m.setTargets(c, s, m.mapTarget-1, m.reduceTarget, f, ReasonReduceHeavy)
 	default:
 		// Balanced State (or f is NaN — no signal): leave the slots alone.
 	}
@@ -457,9 +481,14 @@ func (m *SlotManager) confirmThrashing(c *mr.Cluster, s mr.Stats) {
 	if m.ceiling < 1 {
 		m.ceiling = 1
 	}
+	// setTargets runs before the suspect counter resets so the audit
+	// record captures the confirmation count that triggered the rollback.
+	m.setTargets(c, s, m.ceiling, m.reduceTarget, math.NaN(), ReasonThrashing(m.ceiling+1))
 	m.suspects = 0
-	m.setTargets(c, s, m.ceiling, m.reduceTarget, math.NaN(),
-		fmt.Sprintf("thrashing confirmed at %d map slots", m.ceiling+1))
+	if m.tr.Enabled() {
+		m.tr.Instant(s.Now, trace.PIDController, "thrash", "thrash-confirmed",
+			trace.Num("ceiling", float64(m.ceiling)))
+	}
 }
 
 // tailStretch releases map slots and, for small-shuffle jobs, boosts
@@ -474,21 +503,27 @@ func (m *SlotManager) tailStretch(c *mr.Cluster, s mr.Stats) {
 		perNode = m.mapTarget // never grow maps in the tail
 	}
 	reduces := m.reduceTarget
-	reason := "tail: releasing map slots"
+	reason := ReasonTailRelease
 	if !m.cfg.DisableTailBoost && s.ShufflePerReduceMB > 0 && s.ShufflePerReduceMB < m.cfg.TailShufflePerReduceMB {
 		reduces = m.maxReduces
-		reason = "tail: small shuffle, boosting reduce slots"
+		reason = ReasonTailBoost
 	}
 	if perNode == m.mapTarget && reduces == m.reduceTarget {
 		return
+	}
+	if !m.inTail && m.tr.Enabled() {
+		m.tr.Instant(s.Now, trace.PIDController, "tail", "tail-stretch",
+			trace.Num("running-maps", float64(s.RunningMaps)),
+			trace.Num("shuffle-per-reduce-MB", s.ShufflePerReduceMB))
 	}
 	m.inTail = true
 	m.setTargets(c, s, perNode, reduces, math.NaN(), reason)
 }
 
 // setTargets pushes new uniform targets to every tracker and logs the
-// decision.
+// decision, with a full-input audit record alongside it.
 func (m *SlotManager) setTargets(c *mr.Cluster, s mr.Stats, maps, reduces int, f float64, reason string) {
+	prevMaps, prevReduces := m.mapTarget, m.reduceTarget
 	m.lastDir = 0
 	if maps > m.mapTarget {
 		m.lastDir = 1
@@ -508,6 +543,42 @@ func (m *SlotManager) setTargets(c *mr.Cluster, s mr.Stats, maps, reduces int, f
 	m.decisions = append(m.decisions, Decision{
 		At: s.Now, MapTarget: maps, ReduceTarget: reduces, Factor: f, Reason: reason,
 	})
+	m.audits = append(m.audits, AuditRecord{
+		At:               s.Now,
+		PrevMapTarget:    prevMaps,
+		PrevReduceTarget: prevReduces,
+		MapTarget:        maps,
+		ReduceTarget:     reduces,
+		Factor:           f,
+		Reason:           reason,
+		InRate:           m.lastWindow.inRate,
+		OutRate:          m.lastWindow.outRate,
+		ShufRate:         m.lastWindow.shufRate,
+
+		ShuffleMBps:          s.ShuffleMBps,
+		PotentialShuffleMBps: s.PotentialShuffleMBps,
+		LowerBound:           m.cfg.LowerBound,
+		UpperBound:           m.cfg.UpperBound,
+
+		Suspects: m.suspects,
+		Ceiling:  m.ceiling,
+		InTail:   m.inTail,
+
+		DoneMaps:            s.DoneMaps,
+		TotalMaps:           s.TotalMaps,
+		PendingMaps:         s.PendingMaps,
+		RunningMaps:         s.RunningMaps,
+		FrontJob:            s.FrontJobID,
+		FrontRunningReduces: s.FrontRunningReduces,
+		FrontTotalReduces:   s.FrontTotalReduces,
+	})
+	if m.tr.Enabled() {
+		m.tr.Instant(s.Now, trace.PIDController, "decision", reason,
+			trace.Num("maps", float64(maps)), trace.Num("reduces", float64(reduces)),
+			trace.Num("prev-maps", float64(prevMaps)), trace.Num("prev-reduces", float64(prevReduces)),
+			trace.Num("f", f),
+			trace.Num("out-MBps", m.lastWindow.outRate), trace.Num("shuffle-MBps", s.ShuffleMBps))
+	}
 }
 
 // scaleForNode adjusts uniform targets by the node's compute capacity

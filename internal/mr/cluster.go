@@ -11,6 +11,7 @@ import (
 	"smapreduce/internal/resource"
 	"smapreduce/internal/sim"
 	"smapreduce/internal/telemetry"
+	"smapreduce/internal/trace"
 )
 
 // Controller retunes slot targets at runtime; SMapReduce's slot manager
@@ -72,6 +73,12 @@ type Cluster struct {
 	// inv is the runtime invariant checker; nil unless invariant
 	// checking is enabled (test binaries, SMR_INVARIANTS=1).
 	inv *telemetry.Invariants
+
+	// tracer records span/instant traces; nil when tracing is off
+	// (every emit point no-ops on the nil receiver). flowSpans maps
+	// live fabric flows to their open spans at VerbosityFlows+.
+	tracer    *trace.Tracer
+	flowSpans map[*netsim.Flow]trace.SpanRef
 }
 
 // Utilisation holds cluster-wide time series sampled on the progress
@@ -299,6 +306,7 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 			c.activeJobs++
 			c.Mutate(func() {
 				c.jt.admit(j)
+				c.traceJobBegin(j)
 				c.emit(EvJobSubmitted, j.Spec.Name, "", -1,
 					fmt.Sprintf("%d maps, %d reduces", j.NumMaps(), j.NumReduces()))
 				c.tracef("submit job %s (%d maps, %d reduces, %.0f MB)",
@@ -377,10 +385,18 @@ func (c *Cluster) scheduleSampler() {
 	})
 }
 
-// scheduleController runs controller ticks on their interval.
+// scheduleController runs controller ticks on their interval. Each
+// tick gets a span on the controller track; Tick consumes no virtual
+// time, so the spans render as zero-width markers whose args carry the
+// tick ordinal — the decision instants between them are the payload.
 func (c *Cluster) scheduleController() {
 	c.ctrlEvent = c.clock.After(c.controller.Interval(), "controller", func() {
+		var ref trace.SpanRef
+		if c.tracer.Enabled() {
+			ref = c.tracer.Begin(c.clock.Now(), trace.PIDController, "controller", "tick")
+		}
 		c.Mutate(func() { c.controller.Tick(c) })
+		c.tracer.End(c.clock.Now(), ref)
 		if !c.stopped {
 			c.scheduleController()
 		}

@@ -53,6 +53,9 @@ func (c *Cluster) failTracker(tt *TaskTracker) {
 	tt.mapOutputRate.Reset()
 	tt.shuffleRate.Reset()
 	c.emit(EvTrackerDown, "", "", tt.id, "")
+	if c.tracer.Enabled() {
+		c.tracer.Instant(c.clock.Now(), trackerPID(tt.id), "failure", "tracker-down")
+	}
 	c.tracef("tracker %d failed", tt.id)
 
 	// 1. Purge every reducer's shuffle state that references the dead
@@ -140,6 +143,10 @@ func (c *Cluster) failTracker(tt *TaskTracker) {
 		// requeue itself. Reducers already past shuffle are unaffected.
 	}
 
+	// The aborts emptied the dead tracker's slots; close any open
+	// drain span rather than leaving it dangling past the failure.
+	tt.traceDrainCheck()
+
 	// 4. Wake the live trackers so freed work is picked up immediately.
 	for _, live := range c.trackers {
 		if !live.failed {
@@ -190,6 +197,7 @@ func (c *Cluster) abortMap(m *mapTask) {
 	c.dropOp(m.spillOp)
 	m.computeOp, m.readOp, m.sortOp, m.spillOp = nil, nil, nil, nil
 	delete(tt.runningMaps, m)
+	c.traceMapEnd(m, "aborted")
 	m.state = TaskPending
 	m.tracker = nil
 	m.phase = 0
@@ -240,6 +248,7 @@ func (c *Cluster) abortReduce(r *reduceTask) {
 	}
 	r.pipeFlows, r.pipeActs, r.pipeNodes, r.pipeOps = nil, nil, nil, nil
 	delete(tt.runningReduces, r)
+	c.traceReduceEnd(r, "aborted")
 
 	r.state = TaskPending
 	r.tracker = nil
@@ -312,6 +321,9 @@ func (c *Cluster) DecommissionTracker(id int) error {
 	}
 	tt.draining = true
 	c.emit(EvTrackerDrain, "", "", id, "")
+	if c.tracer.Enabled() {
+		c.tracer.Instant(c.clock.Now(), trackerPID(id), "failure", "tracker-drain")
+	}
 	c.tracef("tracker %d draining", tt.id)
 	return nil
 }

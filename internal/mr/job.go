@@ -9,6 +9,7 @@ import (
 	"smapreduce/internal/netsim"
 	"smapreduce/internal/puma"
 	"smapreduce/internal/resource"
+	"smapreduce/internal/trace"
 )
 
 // JobSpec describes one MapReduce job submission.
@@ -100,6 +101,8 @@ type Job struct {
 
 	mapPressure float64   // derived from Profile.MapPeakSlots
 	partWeights []float64 // per-partition share of each map output, sums to 1
+
+	span trace.SpanRef // open lifecycle span when tracing
 }
 
 // newJob materialises tasks for a spec whose input file already exists.
@@ -275,6 +278,8 @@ type mapTask struct {
 
 	started  float64 // launch time of this attempt, for straggler scoring
 	finished float64 // commit time of the logical task (-1 until then)
+
+	span trace.SpanRef // open attempt span when tracing
 }
 
 // original returns the logical task this attempt belongs to.
@@ -369,6 +374,8 @@ type reduceTask struct {
 	pipeActs  []*resource.Activity
 	pipeNodes []int
 	pipeOps   []*fluidOp
+
+	span trace.SpanRef // open attempt span when tracing
 }
 
 // pendingTotal sums committed bytes not yet transferred.

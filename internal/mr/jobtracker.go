@@ -132,6 +132,7 @@ func (jt *JobTracker) assign(tt *TaskTracker) {
 // (mapreduce.tasktracker.outofband.heartbeat); assigning immediately
 // keeps slots hot without waiting for the next periodic beat.
 func (jt *JobTracker) taskFreed(tt *TaskTracker) {
+	tt.traceDrainCheck()
 	jt.assign(tt)
 }
 

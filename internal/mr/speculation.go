@@ -3,6 +3,9 @@ package mr
 import (
 	"fmt"
 	"math"
+	"strconv"
+
+	"smapreduce/internal/trace"
 )
 
 // Speculative execution for map tasks, modelled on Hadoop's scheme:
@@ -91,6 +94,11 @@ func (c *Cluster) launchBackup(tt *TaskTracker, original *mapTask) {
 	original.backup = clone
 	original.job.SpeculativeLaunched++
 	c.emit(EvSpeculative, original.job.Spec.Name, fmt.Sprintf("map/%d", original.id), tt.id, "")
+	if c.tracer.Enabled() {
+		c.tracer.Instant(c.clock.Now(), trackerPID(tt.id), "speculation", "speculative-backup",
+			trace.Str("task", original.job.Spec.Name+"/map/"+strconv.Itoa(original.id)),
+			trace.Num("original-tt", float64(original.tracker.id)))
+	}
 	c.tracef("speculative backup of map %s/%d on tt%d (original on tt%d at %.0f%%)",
 		original.job.Spec.Name, original.id, tt.id, original.tracker.id,
 		100*original.progressFraction())
@@ -147,6 +155,7 @@ func (c *Cluster) killAttempt(m *mapTask) {
 	c.dropOp(m.spillOp)
 	m.computeOp, m.readOp, m.sortOp, m.spillOp = nil, nil, nil, nil
 	delete(tt.runningMaps, m)
+	c.traceMapEnd(m, "killed")
 	m.state = TaskDone // retired; the logical task's result came from the winner
 	m.tracker = nil
 	c.jt.taskFreed(tt)

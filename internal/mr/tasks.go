@@ -32,6 +32,7 @@ func (c *Cluster) launchMap(tt *TaskTracker, m *mapTask) {
 		c.inv.CheckMapLaunch(tt.id, len(tt.runningMaps), tt.mapTarget)
 	}
 	c.emit(EvTaskStarted, m.job.Spec.Name, fmt.Sprintf("map/%d", m.id), tt.id, "")
+	c.traceMapBegin(tt, m)
 	if m.job.Started < 0 {
 		m.job.Started = c.clock.Now()
 	}
@@ -173,9 +174,11 @@ func (c *Cluster) commitMap(m *mapTask) {
 	delete(tt.runningMaps, m)
 	if !c.resolveSpeculation(m) {
 		// The sibling attempt committed first; this one is a duplicate.
+		c.traceMapEnd(m, "duplicate")
 		c.jt.taskFreed(tt)
 		return
 	}
+	c.traceMapEnd(m, "done")
 
 	// Record the winning attempt's results on the logical task, which
 	// is what reducers, the barrier and failure recovery track.
@@ -209,6 +212,7 @@ func (c *Cluster) commitMap(m *mapTask) {
 	if j.BarrierReached() {
 		j.BarrierAt = c.clock.Now()
 		c.emit(EvBarrier, j.Spec.Name, "", -1, "")
+		c.traceBarrier(j)
 		// Reducers blocked only on the barrier may now advance.
 		for _, r := range j.reduces {
 			if r.state == TaskRunning && r.phase == 0 {
@@ -315,6 +319,7 @@ func (c *Cluster) launchReduce(tt *TaskTracker, r *reduceTask) {
 		c.inv.CheckReduceLaunch(tt.id, len(tt.runningReduces), tt.reduceTarget)
 	}
 	c.emit(EvTaskStarted, r.job.Spec.Name, fmt.Sprintf("reduce/%d", r.partition), tt.id, "")
+	c.traceReduceBegin(tt, r)
 	if r.job.Started < 0 {
 		r.job.Started = c.clock.Now()
 	}
@@ -544,6 +549,7 @@ func (c *Cluster) finishReduce(r *reduceTask) {
 	r.state = TaskDone
 	delete(tt.runningReduces, r)
 	r.job.reducesDone++
+	c.traceReduceEnd(r, "done")
 	c.emit(EvTaskDone, r.job.Spec.Name, fmt.Sprintf("reduce/%d", r.partition), tt.id, "")
 	c.jt.taskFreed(tt)
 	c.checkJobCompletion(r.job)
@@ -557,6 +563,7 @@ func (c *Cluster) checkJobCompletion(j *Job) {
 	}
 	j.FinishedAt = c.clock.Now()
 	j.Progress.Sample(c.clock.Now(), 100, 100)
+	c.traceJobEnd(j)
 	c.emit(EvJobFinished, j.Spec.Name, "", -1, "")
 	c.jt.retire(j)
 	c.activeJobs--

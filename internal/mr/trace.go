@@ -1,0 +1,182 @@
+package mr
+
+import (
+	"strconv"
+
+	"smapreduce/internal/netsim"
+	"smapreduce/internal/trace"
+)
+
+// Tracing wiring: the runtime's span and instant emit points. All of
+// them guard with tracer.Enabled() before building names or fields, so
+// a run without tracing pays one nil check per site (pinned by the
+// zero-alloc guard in internal/trace).
+//
+// Track layout (see DESIGN.md trace schema):
+//
+//	PIDJobs         job lifecycle spans, barrier instants
+//	PIDController   slot-manager tick spans and decision instants
+//	PIDNetwork      flow spans (verbosity-gated)
+//	PIDTrackerBase+i  tracker i: task attempt spans on slot lanes,
+//	                  drain spans, slot-change/speculation instants
+
+// EnableTracing attaches a tracer and names the runtime's tracks. Call
+// before Run. At VerbosityFlows and above, fabric flows get lifecycle
+// spans on the network track (shuffle fetches at level 1; DFS reads
+// and output replication too at level 2).
+func (c *Cluster) EnableTracing(tr *trace.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	c.tracer = tr
+	tr.SetTrackName(trace.PIDJobs, "jobs")
+	tr.SetTrackName(trace.PIDController, "controller")
+	for i := range c.trackers {
+		tr.SetTrackName(trace.PIDTrackerBase+i, "tt"+strconv.Itoa(i))
+	}
+	if tr.Verbosity() >= trace.VerbosityFlows {
+		tr.SetTrackName(trace.PIDNetwork, "network")
+		c.flowSpans = make(map[*netsim.Flow]trace.SpanRef)
+		c.fabric.SetFlowObserver(c.traceFlowAdd, c.traceFlowRemove)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
+
+// trackerPID maps a tracker id to its trace track.
+func trackerPID(id int) int { return trace.PIDTrackerBase + id }
+
+// flowCategory classifies a fabric flow by its label prefix, mirroring
+// how the runtime names its flows, and reports the verbosity level the
+// span requires. Unknown labels trace at the highest level.
+func flowCategory(label string) (cat string, minVerbosity int) {
+	switch {
+	case len(label) >= 8 && label[:8] == "shuffle ":
+		return "shuffle", trace.VerbosityFlows
+	case len(label) >= 5 && label[:5] == "read ":
+		return "read", trace.VerbosityAllFlows
+	case len(label) >= 5 && label[:5] == "repl ":
+		return "repl", trace.VerbosityAllFlows
+	}
+	return "flow", trace.VerbosityAllFlows
+}
+
+// traceFlowAdd opens a span for a newly registered flow, if the
+// verbosity admits its category.
+func (c *Cluster) traceFlowAdd(f *netsim.Flow) {
+	cat, min := flowCategory(f.Label)
+	if c.tracer.Verbosity() < min {
+		return
+	}
+	c.flowSpans[f] = c.tracer.Begin(c.clock.Now(), trace.PIDNetwork, cat, f.Label,
+		trace.Num("src", float64(f.Src)), trace.Num("dst", float64(f.Dst)),
+		trace.Num("MB", f.RemainingMB))
+}
+
+// traceFlowRemove closes a flow's span.
+func (c *Cluster) traceFlowRemove(f *netsim.Flow) {
+	if ref, ok := c.flowSpans[f]; ok {
+		c.tracer.End(c.clock.Now(), ref)
+		delete(c.flowSpans, f)
+	}
+}
+
+// traceJobBegin opens the job's lifecycle span at admission.
+func (c *Cluster) traceJobBegin(j *Job) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	j.span = c.tracer.Begin(c.clock.Now(), trace.PIDJobs, "job", j.Spec.Name,
+		trace.Num("maps", float64(j.NumMaps())), trace.Num("reduces", float64(j.NumReduces())),
+		trace.Num("input-MB", j.Spec.InputMB))
+}
+
+// traceJobEnd closes the job span at completion.
+func (c *Cluster) traceJobEnd(j *Job) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	c.tracer.End(c.clock.Now(), j.span, trace.Num("shuffled-MB", j.ShuffledMB),
+		trace.Num("speculative", float64(j.SpeculativeLaunched)))
+	j.span = 0
+}
+
+// traceBarrier marks the job's map/reduce barrier on the jobs track.
+func (c *Cluster) traceBarrier(j *Job) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	c.tracer.Instant(c.clock.Now(), trace.PIDJobs, "job", "barrier "+j.Spec.Name)
+}
+
+// traceMapBegin opens a map attempt's span on its tracker's track. The
+// lane the span lands on reads as the occupied working slot.
+func (c *Cluster) traceMapBegin(tt *TaskTracker, m *mapTask) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	name := m.job.Spec.Name + "/map/" + strconv.Itoa(m.id)
+	if m.backupOf != nil {
+		name += " (backup)"
+	}
+	m.span = c.tracer.Begin(c.clock.Now(), trackerPID(tt.id), "map", name,
+		trace.Num("split-MB", m.split.SizeMB))
+}
+
+// traceMapEnd closes a map attempt's span with its outcome: "done",
+// "duplicate" (lost a speculative race at commit), "killed" (lost it
+// earlier, or eager slot shrink) or "aborted" (tracker failure).
+func (c *Cluster) traceMapEnd(m *mapTask, outcome string) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	c.tracer.End(c.clock.Now(), m.span, trace.Str("outcome", outcome))
+	m.span = 0
+}
+
+// traceReduceBegin opens a reduce attempt's span on its tracker.
+func (c *Cluster) traceReduceBegin(tt *TaskTracker, r *reduceTask) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	r.span = c.tracer.Begin(c.clock.Now(), trackerPID(tt.id), "reduce",
+		r.job.Spec.Name+"/reduce/"+strconv.Itoa(r.partition))
+}
+
+// traceReduceEnd closes a reduce attempt's span with its outcome.
+func (c *Cluster) traceReduceEnd(r *reduceTask, outcome string) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	c.tracer.End(c.clock.Now(), r.span,
+		trace.Str("outcome", outcome), trace.Num("fetched-MB", r.fetchedMB))
+	r.span = 0
+}
+
+// traceDrainCheck maintains the tracker's lazy-drain span: open while
+// the running task count exceeds the (lowered) slot target — the
+// window in which launches are suppressed and the surplus drains by
+// attrition (§III-D). Called on every slot-target change and whenever
+// a slot frees.
+func (tt *TaskTracker) traceDrainCheck() {
+	c := tt.c
+	if !c.tracer.Enabled() {
+		return
+	}
+	surplus := len(tt.runningMaps) - tt.mapTarget
+	if s := len(tt.runningReduces) - tt.reduceTarget; s > surplus {
+		surplus = s
+	}
+	if tt.failed {
+		surplus = 0 // aborts empty the slots; close any open drain
+	}
+	switch {
+	case surplus > 0 && tt.drainSpan == 0:
+		tt.drainSpan = c.tracer.Begin(c.clock.Now(), trackerPID(tt.id), "drain", "slot-drain",
+			trace.Num("surplus", float64(surplus)))
+	case surplus <= 0 && tt.drainSpan != 0:
+		c.tracer.End(c.clock.Now(), tt.drainSpan)
+		tt.drainSpan = 0
+	}
+}

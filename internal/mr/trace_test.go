@@ -1,0 +1,147 @@
+package mr
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smapreduce/internal/puma"
+	"smapreduce/internal/trace"
+)
+
+// tracedRun executes a two-job PUMA workload with tracing attached,
+// under an adversarial controller so slot targets change mid-run.
+func tracedRun(t *testing.T, tr *trace.Tracer) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	cfg.Net.Nodes = 4
+	cfg.Policy = Dynamic
+	cfg.Seed = 7
+	c := MustNewCluster(cfg)
+	c.EnableTracing(tr)
+	if err := c.SetController(&jitterController{}); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := c.Run(
+		JobSpec{Name: "ts", Profile: puma.MustGet("terasort"), InputMB: 512, Reduces: 4},
+		JobSpec{Name: "g", Profile: puma.MustGet("grep"), InputMB: 256, Reduces: 2, SubmitAt: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if !j.Finished() {
+			t.Fatalf("job %s did not finish", j.Spec.Name)
+		}
+	}
+	return c
+}
+
+// TestTracedRunProducesSpans runs a full workload with tracing and
+// asserts the span inventory: job and task spans, controller ticks,
+// slot-change instants, and no span left open at the end.
+func TestTracedRunProducesSpans(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	tracedRun(t, tr)
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Errorf("OpenSpans = %d after the run, want 0", n)
+	}
+	sum := tr.Summary()
+	for _, cat := range []string{"job", "map", "reduce", "controller", "slot"} {
+		if !strings.Contains(sum, cat) {
+			t.Errorf("trace summary missing category %q:\n%s", cat, sum)
+		}
+	}
+	// Default verbosity must not record flow spans.
+	if strings.Contains(sum, "shuffle") {
+		t.Errorf("flow spans recorded at verbosity 0:\n%s", sum)
+	}
+
+	// The export must be valid JSON in the Chrome trace shape.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Ts   float64 `json:"ts"`
+			Name string  `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+	phs := map[string]int{}
+	sawJob := false
+	for _, ev := range doc.TraceEvents {
+		phs[ev.Ph]++
+		if ev.Ph == "X" && ev.Pid == trace.PIDJobs && ev.Name == "ts" {
+			sawJob = true
+		}
+	}
+	if phs["X"] == 0 || phs["i"] == 0 || phs["M"] == 0 {
+		t.Errorf("export lacks a phase: %v", phs)
+	}
+	if phs["B"] != 0 {
+		t.Errorf("export holds %d unterminated spans", phs["B"])
+	}
+	if !sawJob {
+		t.Error("job span for \"ts\" missing from export")
+	}
+}
+
+// TestTracedRunFlowVerbosity asserts flow spans appear only at
+// VerbosityFlows and also close by the end of the run.
+func TestTracedRunFlowVerbosity(t *testing.T) {
+	tr := trace.New(trace.Options{Verbosity: trace.VerbosityFlows})
+	tracedRun(t, tr)
+	if n := tr.OpenSpans(); n != 0 {
+		t.Errorf("OpenSpans = %d after the run, want 0", n)
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "shuffle") {
+		t.Errorf("no shuffle flow spans at VerbosityFlows:\n%s", sum)
+	}
+	// DFS reads stay silent below VerbosityAllFlows.
+	if strings.Contains(sum, "read") {
+		t.Errorf("read flows recorded below VerbosityAllFlows:\n%s", sum)
+	}
+}
+
+// TestTracedRunSurvivesFailure checks the abort paths close their
+// spans: a mid-run tracker failure must not leave dangling task or
+// drain spans.
+func TestTracedRunSurvivesFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 5
+	cfg.Net.Nodes = 5
+	cfg.Seed = 11
+	c := MustNewCluster(cfg)
+	tr := trace.New(trace.Options{})
+	c.EnableTracing(tr)
+	c.ScheduleFailure(2, 20)
+	jobs, err := c.Run(JobSpec{
+		Name: "ts", Profile: puma.MustGet("terasort"), InputMB: 1024, Reduces: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jobs[0].Finished() {
+		t.Fatal("job did not finish after failure")
+	}
+	if n := tr.OpenSpans(); n != 0 {
+		t.Errorf("OpenSpans = %d after failure run, want 0", n)
+	}
+	if !strings.Contains(tr.Summary(), "failure") {
+		t.Errorf("tracker failure left no instant:\n%s", tr.Summary())
+	}
+}

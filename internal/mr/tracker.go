@@ -7,6 +7,7 @@ import (
 	"smapreduce/internal/resource"
 	"smapreduce/internal/sim"
 	"smapreduce/internal/stats"
+	"smapreduce/internal/trace"
 )
 
 // TaskTracker is one worker daemon: it owns the node's working slots,
@@ -45,6 +46,8 @@ type TaskTracker struct {
 	hbEvent           *sim.Event
 	disturbance       *resource.Activity
 	disturbanceExpiry *sim.Event
+
+	drainSpan trace.SpanRef // open lazy-drain span when tracing
 }
 
 func newTaskTracker(c *Cluster, id int, node *resource.Node) *TaskTracker {
@@ -152,10 +155,15 @@ func (tt *TaskTracker) setTargets(maps, reduces int) {
 	tt.mapTarget = maps
 	tt.reduceTarget = reduces
 	tt.c.emit(EvSlotChange, "", "", tt.id, fmt.Sprintf("%d/%d", maps, reduces))
+	if tt.c.tracer.Enabled() {
+		tt.c.tracer.Instant(tt.c.clock.Now(), trackerPID(tt.id), "slot", "slot-change",
+			trace.Num("maps", float64(maps)), trace.Num("reduces", float64(reduces)))
+	}
 	tt.applyDisturbance()
 	if tt.c.cfg.EagerSlotChange {
 		tt.killSurplusMaps()
 	}
+	tt.traceDrainCheck()
 }
 
 // killSurplusMaps implements the eager (non-paper) slot-shrink policy:
@@ -253,41 +261,54 @@ func (tt *TaskTracker) heartbeat() {
 // inFlightMapInputMB estimates input MB consumed by still-running map
 // tasks, so window rates do not jump at task boundaries.
 func (tt *TaskTracker) inFlightMapInputMB() float64 {
-	s := 0.0
+	vals := make([]float64, 0, len(tt.runningMaps))
 	for m := range tt.runningMaps {
 		if m.phase == 0 && m.computeOp != nil {
-			s += m.split.SizeMB * m.computeOp.fraction()
+			vals = append(vals, m.split.SizeMB*m.computeOp.fraction())
 		} else if m.phase > 0 {
-			s += m.split.SizeMB
+			vals = append(vals, m.split.SizeMB)
 		}
 	}
-	return s
+	return sumAscending(vals)
 }
 
 // inFlightMapOutputMB mirrors inFlightMapInputMB for produced output.
 func (tt *TaskTracker) inFlightMapOutputMB() float64 {
-	s := 0.0
+	vals := make([]float64, 0, len(tt.runningMaps))
 	for m := range tt.runningMaps {
 		if m.phase == 0 && m.computeOp != nil {
-			s += m.shuffleMB * m.computeOp.fraction()
+			vals = append(vals, m.shuffleMB*m.computeOp.fraction())
 		} else if m.phase > 0 {
-			s += m.shuffleMB
+			vals = append(vals, m.shuffleMB)
 		}
 	}
-	return s
+	return sumAscending(vals)
 }
 
 // inFlightShuffleMB counts bytes moved by still-active fetch flows.
 func (tt *TaskTracker) inFlightShuffleMB() float64 {
-	s := 0.0
+	var vals []float64
 	for r := range tt.runningReduces {
 		for _, sf := range r.flows {
 			if sf != nil {
-				s += sf.op.movedMB()
+				vals = append(vals, sf.op.movedMB())
 			}
 		}
 	}
-	return s
+	return sumAscending(vals)
+}
+
+// sumAscending adds the values smallest-first, making the float result
+// independent of map iteration order. The full-precision sums feed the
+// audit records and trace export, which must be bit-reproducible
+// run-to-run.
+func sumAscending(vals []float64) float64 {
+	sort.Float64s(vals)
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
 }
 
 // stop cancels the tracker's periodic machinery at simulation shutdown.

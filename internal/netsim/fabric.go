@@ -153,6 +153,14 @@ type Fabric struct {
 	// it to mark only the affected fluid ops dirty.
 	onRateChange func(*Flow)
 
+	// onFlowAdd/onFlowRemove, when set, observe flow registration and
+	// removal — the tracing layer's hook for flow lifecycle spans.
+	// onFlowAdd fires after the flow is fully registered; onFlowRemove
+	// fires on real removals only (not the foreign-flow no-op), before
+	// the flow's state is torn down.
+	onFlowAdd    func(*Flow)
+	onFlowRemove func(*Flow)
+
 	// fullResolve arms the verification mode: every incremental resolve
 	// is followed by a from-scratch full resolve and the two rate
 	// vectors are compared (panic on divergence > fullResolveTol).
@@ -235,6 +243,13 @@ func (fb *Fabric) SetAutoRecompute(auto bool) {
 // SetRateListener registers fn to be called for every flow whose rate
 // changes value during a resolve. Pass nil to disable.
 func (fb *Fabric) SetRateListener(fn func(*Flow)) { fb.onRateChange = fn }
+
+// SetFlowObserver registers lifecycle callbacks: onAdd after a flow is
+// registered, onRemove when a registered flow is removed. Either may be
+// nil.
+func (fb *Fabric) SetFlowObserver(onAdd, onRemove func(*Flow)) {
+	fb.onFlowAdd, fb.onFlowRemove = onAdd, onRemove
+}
 
 // fullResolveTol is the maximum per-flow rate divergence (MB/s) the
 // verification mode tolerates between the incremental and the full
@@ -414,6 +429,9 @@ func (fb *Fabric) Add(f *Flow) {
 		f.nlinks = 0
 		f.rate = math.Inf(1)
 	}
+	if fb.onFlowAdd != nil {
+		fb.onFlowAdd(f)
+	}
 	if fb.auto {
 		fb.ResolveDirty()
 	}
@@ -424,6 +442,9 @@ func (fb *Fabric) Add(f *Flow) {
 func (fb *Fabric) Remove(f *Flow) {
 	if f.fabric != fb {
 		return
+	}
+	if fb.onFlowRemove != nil {
+		fb.onFlowRemove(f)
 	}
 	last := len(fb.flows) - 1
 	fb.flows[f.idx] = fb.flows[last]

@@ -433,3 +433,49 @@ func TestQuickCapFeasibility(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFlowObserverSeesLifecycle pins the observer contract: onAdd fires
+// after the flow is fully registered (rate already meaningful once the
+// fabric resolves), onRemove fires exactly once per removed flow, and
+// flows foreign to the fabric trigger neither callback.
+func TestFlowObserverSeesLifecycle(t *testing.T) {
+	fb := NewFabric(cfg(4))
+	var added, removed []*Flow
+	fb.SetFlowObserver(
+		func(f *Flow) { added = append(added, f) },
+		func(f *Flow) { removed = append(removed, f) },
+	)
+
+	f1 := &Flow{Src: 0, Dst: 1, RemainingMB: 10}
+	f2 := &Flow{Src: 2, Dst: 3, RemainingMB: 20}
+	fb.Add(f1)
+	fb.Add(f2)
+	if len(added) != 2 || added[0] != f1 || added[1] != f2 {
+		t.Fatalf("onAdd saw %d flows, want f1 then f2", len(added))
+	}
+	if len(removed) != 0 {
+		t.Fatalf("onRemove fired before any Remove")
+	}
+
+	// A flow belonging to a different fabric must not leak through.
+	other := NewFabric(cfg(4))
+	foreign := &Flow{Src: 0, Dst: 1}
+	other.Add(foreign)
+	fb.Remove(foreign)
+	if len(removed) != 0 {
+		t.Fatal("onRemove fired for a foreign flow")
+	}
+
+	fb.Remove(f1)
+	fb.Remove(f1) // second Remove is a no-op
+	if len(removed) != 1 || removed[0] != f1 {
+		t.Fatalf("onRemove fired %d times for f1, want once", len(removed))
+	}
+	fb.Remove(f2)
+	if len(removed) != 2 || removed[1] != f2 {
+		t.Fatalf("onRemove total = %d, want 2", len(removed))
+	}
+	if fb.Len() != 0 {
+		t.Fatalf("fabric still holds %d flows", fb.Len())
+	}
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteFile exports the collector to path, picking the format from the
+// file extension (case-insensitive): CSV for .csv, JSONL otherwise.
+func WriteFile(col *Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		err = col.WriteCSV(f)
+	} else {
+		err = col.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WritePrometheus renders the newest sample of every series in the
+// Prometheus text exposition format, one gauge per series named
+// smr_<series> with characters outside [a-zA-Z0-9_] folded to '_'.
+// Non-finite values keep their text spellings (NaN, +Inf), which the
+// format admits.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, p := range c.probes {
+		if p.s.Len() == 0 {
+			continue
+		}
+		name := promName(p.s.name)
+		if _, err := fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n",
+			name, name, formatValue(p.s.Last().V)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// promName maps a series name to a valid Prometheus metric name.
+func promName(series string) string {
+	var b strings.Builder
+	b.Grow(len(series) + 4)
+	b.WriteString("smr_")
+	for _, r := range series {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"sync"
 
 	"smapreduce/internal/metrics"
 )
@@ -109,13 +110,22 @@ type probe struct {
 	fn func() float64
 }
 
-// Collector samples a set of named probes on every Tick. Registration
-// is only allowed before the first Tick so that every series has one
-// sample per tick and all series stay aligned.
+// Collector samples a set of named probes on every Tick. Late
+// registration (after ticks have already run) backfills the new series
+// with NaN samples at the earlier tick instants, so all series always
+// stay row-aligned.
+//
+// Collector methods are safe for concurrent use (the serve mode reads
+// exports while the simulation goroutine ticks). Series handles
+// obtained from Register or Get are not independently synchronised:
+// read them through the Collector's exports, or only once ticking has
+// stopped.
 type Collector struct {
+	mu       sync.Mutex
 	capacity int
 	probes   []probe
 	byName   map[string]*Series
+	times    *Series // tick instants, for late-registration backfill
 	ticks    int
 }
 
@@ -125,19 +135,27 @@ func NewCollector(capacity int) *Collector {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Collector{capacity: capacity, byName: make(map[string]*Series)}
+	return &Collector{
+		capacity: capacity,
+		byName:   make(map[string]*Series),
+		times:    NewSeries("t", capacity),
+	}
 }
 
-// Register adds a named probe and returns its series. Panics on a
-// duplicate name or after the first Tick.
+// Register adds a named probe and returns its series. A series
+// registered after ticks have already run is backfilled with NaN at
+// every retained tick instant, keeping all series row-aligned. Panics
+// on a duplicate name.
 func (c *Collector) Register(name string, fn func() float64) *Series {
-	if c.ticks > 0 {
-		panic(fmt.Sprintf("telemetry: Register(%q) after the first Tick would misalign series", name))
-	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.byName[name]; dup {
 		panic(fmt.Sprintf("telemetry: duplicate series %q", name))
 	}
 	s := NewSeries(name, c.capacity)
+	for i := 0; i < c.times.Len(); i++ {
+		s.Append(c.times.At(i).T, math.NaN())
+	}
 	c.byName[name] = s
 	c.probes = append(c.probes, probe{s: s, fn: fn})
 	return s
@@ -145,17 +163,26 @@ func (c *Collector) Register(name string, fn func() float64) *Series {
 
 // Tick samples every registered probe at virtual time now.
 func (c *Collector) Tick(now float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.ticks++
+	c.times.Append(now, 0)
 	for _, p := range c.probes {
 		p.s.Append(now, p.fn())
 	}
 }
 
 // Ticks returns how many times Tick has run.
-func (c *Collector) Ticks() int { return c.ticks }
+func (c *Collector) Ticks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ticks
+}
 
 // Names returns the series names in registration order.
 func (c *Collector) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, len(c.probes))
 	for i, p := range c.probes {
 		out[i] = p.s.name
@@ -164,13 +191,27 @@ func (c *Collector) Names() []string {
 }
 
 // Get returns the named series, or nil if not registered.
-func (c *Collector) Get(name string) *Series { return c.byName[name] }
+func (c *Collector) Get(name string) *Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byName[name]
+}
 
 // Table renders the retained samples as a wide table: one row per
 // tick, a "t" column plus one column per series. All series are
 // row-aligned by construction.
 func (c *Collector) Table() *metrics.Table {
-	cols := append([]string{"t"}, c.Names()...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table()
+}
+
+func (c *Collector) table() *metrics.Table {
+	cols := make([]string, 0, len(c.probes)+1)
+	cols = append(cols, "t")
+	for _, p := range c.probes {
+		cols = append(cols, p.s.name)
+	}
 	t := metrics.NewTable("telemetry", cols...)
 	if len(c.probes) == 0 {
 		return t
@@ -202,6 +243,8 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 // and +Inf for map-only jobs) are emitted as null, since JSON cannot
 // encode them.
 func (c *Collector) WriteJSONL(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	for _, p := range c.probes {
 		name := strconv.Quote(p.s.name)

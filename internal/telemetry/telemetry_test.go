@@ -43,16 +43,57 @@ func TestSeriesAppendOutOfOrderPanics(t *testing.T) {
 	s.Append(4, 1)
 }
 
-func TestRegisterAfterTickPanics(t *testing.T) {
+// TestRegisterAfterTickBackfills pins the late-registration contract:
+// a series registered mid-run gets NaN samples at every earlier tick
+// instant, so it stays row-aligned with the rest.
+func TestRegisterAfterTickBackfills(t *testing.T) {
 	col := NewCollector(8)
-	col.Register("a", func() float64 { return 0 })
-	col.Tick(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic registering after the first Tick")
+	a := col.Register("a", func() float64 { return 1 })
+	col.Tick(2)
+	col.Tick(4)
+	b := col.Register("b", func() float64 { return 9 })
+	col.Tick(6)
+
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("lens = %d/%d, want 3/3", a.Len(), b.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if at, bt := a.At(i).T, b.At(i).T; at != bt {
+			t.Fatalf("row %d misaligned: t=%v vs %v", i, at, bt)
 		}
-	}()
-	col.Register("b", func() float64 { return 0 })
+	}
+	if !math.IsNaN(b.At(0).V) || !math.IsNaN(b.At(1).V) {
+		t.Fatalf("backfill not NaN: %v, %v", b.At(0).V, b.At(1).V)
+	}
+	if b.At(2).V != 9 {
+		t.Fatalf("post-registration sample = %v, want 9", b.At(2).V)
+	}
+
+	// The wide table stays rectangular across the registration.
+	tbl := col.Table()
+	if len(tbl.Columns) != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("table %dx%d, want 3x3", len(tbl.Columns), len(tbl.Rows))
+	}
+}
+
+// TestRegisterBackfillAfterEviction registers late when the tick ring
+// has already wrapped; the backfill must cover exactly the retained
+// window.
+func TestRegisterBackfillAfterEviction(t *testing.T) {
+	col := NewCollector(4)
+	a := col.Register("a", func() float64 { return 1 })
+	for i := 0; i < 10; i++ {
+		col.Tick(float64(i))
+	}
+	b := col.Register("b", func() float64 { return 2 })
+	if b.Len() != a.Len() {
+		t.Fatalf("late series len = %d, want %d", b.Len(), a.Len())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if a.At(i).T != b.At(i).T {
+			t.Fatalf("row %d misaligned after eviction", i)
+		}
+	}
 }
 
 func TestRegisterDuplicatePanics(t *testing.T) {

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteChromeJSON exports the trace in Chrome trace-event JSON (the
+// "JSON object format": {"traceEvents": [...]}), which Perfetto and
+// chrome://tracing open directly. Virtual seconds scale to the
+// format's microseconds, so one simulated second renders as one trace
+// second. Still-open spans export as 'B' (begin-only) events, which
+// the viewers render as running to the end of the trace — useful when
+// downloading mid-run from the /trace endpoint.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(e event) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		writeEvent(bw, e)
+	}
+	if t != nil {
+		t.mu.Lock()
+		for _, e := range t.meta {
+			emit(e)
+		}
+		for _, e := range t.events {
+			emit(e)
+		}
+		for i := range t.spans {
+			sp := &t.spans[i]
+			if sp.live {
+				emit(event{ph: 'B', ts: sp.start, pid: sp.pid, tid: sp.tid, cat: sp.cat, name: sp.name, fields: sp.fields})
+			}
+		}
+		t.mu.Unlock()
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeEvent renders one trace event. Hand-rolled rather than
+// encoding/json so export needs no intermediate map allocations and
+// non-finite numbers degrade to null instead of erroring.
+func writeEvent(bw *bufio.Writer, e event) {
+	bw.WriteString("{\"ph\":\"")
+	bw.WriteByte(e.ph)
+	bw.WriteString("\",\"pid\":")
+	bw.WriteString(strconv.Itoa(e.pid))
+	bw.WriteString(",\"tid\":")
+	bw.WriteString(strconv.Itoa(e.tid))
+	if e.ph == 'M' {
+		// Track metadata: name the "process".
+		bw.WriteString(",\"name\":\"process_name\",\"args\":{\"name\":")
+		bw.WriteString(strconv.Quote(e.name))
+		bw.WriteString("}}")
+		return
+	}
+	bw.WriteString(",\"ts\":")
+	writeMicros(bw, e.ts)
+	if e.ph == 'X' {
+		bw.WriteString(",\"dur\":")
+		writeMicros(bw, e.dur)
+	}
+	if e.ph == 'i' {
+		// Global scope: draw the instant across the whole track group.
+		bw.WriteString(",\"s\":\"g\"")
+	}
+	if e.cat != "" {
+		bw.WriteString(",\"cat\":")
+		bw.WriteString(strconv.Quote(e.cat))
+	}
+	bw.WriteString(",\"name\":")
+	bw.WriteString(strconv.Quote(e.name))
+	if len(e.fields) > 0 {
+		bw.WriteString(",\"args\":{")
+		for i, f := range e.fields {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.Quote(f.Key))
+			bw.WriteByte(':')
+			if f.isNum {
+				if math.IsNaN(f.num) || math.IsInf(f.num, 0) {
+					bw.WriteString("null")
+				} else {
+					bw.WriteString(strconv.FormatFloat(f.num, 'g', -1, 64))
+				}
+			} else {
+				bw.WriteString(strconv.Quote(f.str))
+			}
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeMicros renders a virtual-seconds timestamp as integer
+// microseconds (the trace-event format's unit).
+func writeMicros(bw *bufio.Writer, sec float64) {
+	if math.IsNaN(sec) || math.IsInf(sec, 0) {
+		bw.WriteByte('0')
+		return
+	}
+	bw.WriteString(strconv.FormatInt(int64(math.Round(sec*1e6)), 10))
+}
+
+// Summary renders a per-category table over closed spans and instants:
+// event count, and for spans the total and mean duration. It is the
+// quick no-Perfetto view printed by smrsim when tracing is on.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "trace: disabled\n"
+	}
+	type agg struct {
+		spans    int
+		instants int
+		total    float64
+	}
+	t.mu.Lock()
+	byCat := make(map[string]*agg)
+	for _, e := range t.events {
+		a := byCat[e.cat]
+		if a == nil {
+			a = &agg{}
+			byCat[e.cat] = a
+		}
+		switch e.ph {
+		case 'X':
+			a.spans++
+			a.total += e.dur
+		case 'i':
+			a.instants++
+		}
+	}
+	open := 0
+	for i := range t.spans {
+		if t.spans[i].live {
+			open++
+		}
+	}
+	dropped := t.dropped
+	n := len(t.events)
+	t.mu.Unlock()
+
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %9s %12s %10s\n", "category", "spans", "instants", "total(s)", "mean(s)")
+	for _, c := range cats {
+		a := byCat[c]
+		mean := 0.0
+		if a.spans > 0 {
+			mean = a.total / float64(a.spans)
+		}
+		fmt.Fprintf(&b, "%-16s %8d %9d %12.1f %10.2f\n", c, a.spans, a.instants, a.total, mean)
+	}
+	fmt.Fprintf(&b, "events=%d dropped=%d open-spans=%d\n", n, dropped, open)
+	return b.String()
+}
