@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race invariants bench-smoke bench-fluid trace-smoke clean
+.PHONY: all build test check vet race invariants bench-smoke bench-fluid bench-alloc trace-smoke clean
 
 all: check
 
@@ -40,6 +40,14 @@ bench-smoke:
 # fluid-rate resolver timings).
 bench-fluid:
 	$(GO) run ./cmd/smrbench -benchjson
+
+# bench-alloc regenerates BENCH_alloc.json (allocs/op, bytes/op and GC
+# cycles of the figure macro-runs against the pre-pooling baselines,
+# plus the pooled-vs-unpooled netsim churn loop), and runs the zero-
+# alloc AllocsPerRun guards in short mode as a quick gate first.
+bench-alloc:
+	$(GO) test -short -run 'ZeroAlloc|AllocFree' ./internal/sim/ ./internal/netsim/ ./internal/mr/
+	$(GO) run ./cmd/smrbench -memjson
 
 # trace-smoke proves the observability pipeline end to end: a traced
 # default run must produce a valid Chrome trace (tracecheck) and a

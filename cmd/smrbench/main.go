@@ -8,6 +8,7 @@
 //	smrbench -fig 3 -fig 6   # a subset
 //	smrbench -scale 0.25     # quicker, smaller inputs
 //	smrbench -benchjson      # time the fluid resolver, write BENCH_fluid.json
+//	smrbench -memjson        # measure allocs/bytes/GC, write BENCH_alloc.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -52,6 +54,7 @@ func main() {
 	charts := flag.Bool("charts", false, "print an ASCII chart under each figure that has one")
 	extras := flag.Bool("extras", false, "also run the beyond-the-paper experiments (ablations, heterogeneous cluster, schedulers, speculation)")
 	benchJSON := flag.Bool("benchjson", false, "time the fluid-rate resolver (figure macro-runs and netsim churn) and write BENCH_fluid.json instead of running figures")
+	memJSON := flag.Bool("memjson", false, "measure heap behaviour (allocs/op, bytes/op, GC cycles) of the figure macro-runs and the netsim churn loop, write BENCH_alloc.json instead of running figures")
 	telemPath := flag.String("telemetry", "", "capture a seeded SMapReduce histogram-ratings run, write its telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline instead of running figures")
 	tracePath := flag.String("trace", "", "capture a seeded SMapReduce histogram-ratings run and write its Chrome trace-event JSON to this file (combinable with -telemetry) instead of running figures")
 	flag.Var(&figs, "fig", "figure number to run (repeatable; default: all)")
@@ -70,6 +73,14 @@ func main() {
 
 	if *benchJSON {
 		if err := writeBenchJSON(cfg, "BENCH_fluid.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *memJSON {
+		if err := writeMemJSON(cfg, "BENCH_alloc.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -447,6 +458,172 @@ func writeBenchJSON(cfg experiments.Config, path string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// Pre-optimisation heap behaviour of the figure macro-runs, recorded
+// at the commit before the event-arena/pooling change with the exact
+// protocol writeMemJSON uses (Scale 0.5, one untimed warm-up run,
+// runtime.GC, then one measured run bracketed by ReadMemStats). The
+// churn loop needs no recorded constants — its unpooled baseline
+// (fresh Flow per cycle) is still a live code path and is re-measured
+// each run.
+const (
+	baselineFigure3Allocs = 2901962.0
+	baselineFigure3Bytes  = 150734728.0
+	baselineFigure3GCs    = 56.0
+	baselineFigure4Allocs = 373334.0
+	baselineFigure4Bytes  = 20115352.0
+	baselineFigure4GCs    = 6.0
+)
+
+// heapProbe is one measured run's allocator footprint.
+type heapProbe struct {
+	allocs float64 // heap objects allocated (Mallocs delta)
+	bytes  float64 // bytes allocated (TotalAlloc delta)
+	gcs    float64 // GC cycles completed (NumGC delta)
+}
+
+// measureHeap runs fn once untimed to reach steady state, forces a
+// collection so the measured run starts from a settled heap, then runs
+// fn again between two ReadMemStats snapshots.
+func measureHeap(fn func() error) (heapProbe, error) {
+	if err := fn(); err != nil {
+		return heapProbe{}, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if err := fn(); err != nil {
+		return heapProbe{}, err
+	}
+	runtime.ReadMemStats(&m1)
+	return heapProbe{
+		allocs: float64(m1.Mallocs - m0.Mallocs),
+		bytes:  float64(m1.TotalAlloc - m0.TotalAlloc),
+		gcs:    float64(m1.NumGC - m0.NumGC),
+	}, nil
+}
+
+// reduction is baseline/current with the zero-current case pinned: a
+// fully pooled loop legitimately hits 0 allocs/op, and +Inf is not
+// representable in JSON, so the factor is reported against one whole
+// allocation instead.
+func reduction(baseline, current float64) float64 {
+	if current <= 0 {
+		return baseline
+	}
+	return baseline / current
+}
+
+// writeMemJSON measures the allocator footprint of the two figure
+// macro-runs (against the recorded pre-optimisation baselines) and of
+// the netsim churn loop in pooled versus unpooled mode, and writes
+// BENCH_alloc.json. The figure runs are pinned to Scale 0.5 — the
+// shape the baselines were recorded at — so the comparison holds
+// regardless of -scale.
+func writeMemJSON(cfg experiments.Config, path string) error {
+	cfg.Scale = 0.5
+	fig3, err := measureHeap(func() error { _, err := experiments.Figure3(cfg); return err })
+	if err != nil {
+		return fmt.Errorf("figure 3: %w", err)
+	}
+	fig4, err := measureHeap(func() error { _, err := experiments.Figure4(cfg); return err })
+	if err != nil {
+		return fmt.Errorf("figure 4: %w", err)
+	}
+	const churnIters = 200_000
+	churnUnpooled := churnAllocs(false, churnIters)
+	churnPooled := churnAllocs(true, churnIters)
+
+	figNote := "baseline recorded pre-optimisation (pointer-heap events, per-attempt flow/op allocation); current measured this run"
+	churnNote := "both sides measured this run: baseline = fresh Flow per churn cycle, current = AcquireFlow/ReleaseFlow pool"
+	report := benchReport{
+		Command: "smrbench -memjson",
+		Scale:   cfg.Scale,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+		Results: []benchEntry{
+			{Name: "Figure3ExecTime", Unit: "allocs/op",
+				Baseline: baselineFigure3Allocs, Current: fig3.allocs,
+				Speedup: reduction(baselineFigure3Allocs, fig3.allocs), Note: figNote},
+			{Name: "Figure3ExecTime", Unit: "B/op",
+				Baseline: baselineFigure3Bytes, Current: fig3.bytes,
+				Speedup: reduction(baselineFigure3Bytes, fig3.bytes), Note: figNote},
+			{Name: "Figure3ExecTime", Unit: "GC cycles/op",
+				Baseline: baselineFigure3GCs, Current: fig3.gcs,
+				Speedup: reduction(baselineFigure3GCs, fig3.gcs), Note: figNote},
+			{Name: "Figure4Progress", Unit: "allocs/op",
+				Baseline: baselineFigure4Allocs, Current: fig4.allocs,
+				Speedup: reduction(baselineFigure4Allocs, fig4.allocs), Note: figNote},
+			{Name: "Figure4Progress", Unit: "B/op",
+				Baseline: baselineFigure4Bytes, Current: fig4.bytes,
+				Speedup: reduction(baselineFigure4Bytes, fig4.bytes), Note: figNote},
+			{Name: "Figure4Progress", Unit: "GC cycles/op",
+				Baseline: baselineFigure4GCs, Current: fig4.gcs,
+				Speedup: reduction(baselineFigure4GCs, fig4.gcs), Note: figNote},
+			{Name: "netsim churn (remove+add+resolve)", Unit: "allocs/op",
+				Baseline: churnUnpooled.allocs, Current: churnPooled.allocs,
+				Speedup: reduction(churnUnpooled.allocs, churnPooled.allocs), Note: churnNote},
+			{Name: "netsim churn (remove+add+resolve)", Unit: "B/op",
+				Baseline: churnUnpooled.bytes, Current: churnPooled.bytes,
+				Speedup: reduction(churnUnpooled.bytes, churnPooled.bytes), Note: churnNote},
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%-36s %-12s baseline %14.2f  current %14.2f  reduction %7.1fx\n",
+			r.Name, r.Unit, r.Baseline, r.Current, r.Speedup)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// churnAllocs reuses the churnNSPerOp topology but reports per-cycle
+// allocator cost: each cycle retires one flow and starts a replacement,
+// either through the fabric's free-list pool or with a fresh object.
+func churnAllocs(pooled bool, iters int) heapProbe {
+	fb := netsim.NewFabric(netsim.DefaultConfig(128))
+	fb.SetAutoRecompute(false)
+	var live []*netsim.Flow
+	for g := 0; g < 32; g++ {
+		dst := 4 * g
+		for k := 0; k < 5; k++ {
+			f := fb.AcquireFlow()
+			f.Src, f.Dst, f.RemainingMB, f.CapMBps = dst+1+k%3, dst, 100, 3.5
+			fb.Add(f)
+			live = append(live, f)
+		}
+	}
+	fb.Recompute()
+	cycle := func() {
+		for i := 0; i < iters; i++ {
+			j := i % len(live)
+			old := live[j]
+			src, dst := old.Src, old.Dst
+			fb.Remove(old)
+			var nf *netsim.Flow
+			if pooled {
+				fb.ReleaseFlow(old)
+				nf = fb.AcquireFlow()
+			} else {
+				nf = &netsim.Flow{}
+			}
+			nf.Src, nf.Dst, nf.RemainingMB, nf.CapMBps = src, dst, 100, 3.5
+			fb.Add(nf)
+			live[j] = nf
+			fb.ResolveDirty()
+		}
+	}
+	probe, _ := measureHeap(func() error { cycle(); return nil })
+	probe.allocs /= float64(iters)
+	probe.bytes /= float64(iters)
+	return probe
 }
 
 // churnNSPerOp reproduces the netsim BenchmarkChurn topology — 32

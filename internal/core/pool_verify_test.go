@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"smapreduce/internal/mr"
+	"smapreduce/internal/puma"
+)
+
+// jobMilestones is the externally observable outcome of one job; the
+// pooled and unpooled runs must agree on every field exactly.
+type jobMilestones struct {
+	Name                string
+	Submitted           float64
+	Started             float64
+	BarrierAt           float64
+	FinishedAt          float64
+	ShuffledMB          float64
+	SpeculativeLaunched int
+	SpeculativeWins     int
+}
+
+func runPoolVerify(t *testing.T, noPool bool, inputMB float64, jobs int) ([]jobMilestones, []Decision, []AuditRecord) {
+	t.Helper()
+	cfg := mr.DefaultConfig()
+	cfg.Seed = 11
+	cfg.OutputReplication = 2
+	cfg.NoPooling = noPool
+	names := puma.Names()
+	specs := make([]mr.JobSpec, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		name := names[i%len(names)]
+		specs = append(specs, mr.JobSpec{
+			Name:     name,
+			Profile:  puma.MustGet(name),
+			InputMB:  inputMB,
+			Reduces:  4,
+			SubmitAt: float64(i) * 2,
+		})
+	}
+	res, err := Run(EngineSMapReduce, Options{Cluster: cfg}, specs...)
+	if err != nil {
+		t.Fatalf("Run (noPool=%v): %v", noPool, err)
+	}
+	ms := make([]jobMilestones, len(res.Jobs))
+	for i, j := range res.Jobs {
+		ms[i] = jobMilestones{
+			Name:                j.Spec.Name,
+			Submitted:           j.Submitted,
+			Started:             j.Started,
+			BarrierAt:           j.BarrierAt,
+			FinishedAt:          j.FinishedAt,
+			ShuffledMB:          j.ShuffledMB,
+			SpeculativeLaunched: j.SpeculativeLaunched,
+			SpeculativeWins:     j.SpeculativeWins,
+		}
+	}
+	return ms, res.Decisions, res.Audits
+}
+
+// TestPoolVerifyDifferential runs the full SMapReduce engine — slot
+// manager, decision log and audit trail included — with object pooling
+// on and off, and requires bit-identical output. This is the engine-
+// level counterpart of mr's pooled-vs-unpooled test: any reuse bug that
+// perturbs timing shifts a heartbeat, which shifts a slot decision,
+// which diverges the audit log.
+//
+// SMR_POOL_VERIFY=1 arms the figure-scale variant (the Figure 4-sized
+// workload); the default keeps the short-mode cost small.
+func TestPoolVerifyDifferential(t *testing.T) {
+	inputMB, jobs := 1024.0, 3
+	if os.Getenv("SMR_POOL_VERIFY") == "1" {
+		inputMB, jobs = 10240.0, 6
+	} else if testing.Short() {
+		inputMB, jobs = 512.0, 2
+	}
+
+	pMs, pDec, pAud := runPoolVerify(t, false, inputMB, jobs)
+	uMs, uDec, uAud := runPoolVerify(t, true, inputMB, jobs)
+
+	if !reflect.DeepEqual(pMs, uMs) {
+		t.Fatalf("job milestones diverge:\npooled   %+v\nunpooled %+v", pMs, uMs)
+	}
+	// Decision.Factor and several audit floats are legitimately NaN
+	// (thrash/tail decisions), and NaN != NaN breaks DeepEqual on
+	// identical logs. Both structs are flat value types, so the %+v
+	// rendering — shortest round-trip floats, "NaN" for NaN — is an
+	// exact, NaN-tolerant equality.
+	if p, u := fmt.Sprintf("%+v", pDec), fmt.Sprintf("%+v", uDec); p != u {
+		t.Fatalf("decision logs diverge (%d vs %d entries):\npooled   %s\nunpooled %s",
+			len(pDec), len(uDec), p, u)
+	}
+	if p, u := fmt.Sprintf("%+v", pAud), fmt.Sprintf("%+v", uAud); p != u {
+		t.Fatalf("audit records diverge (%d vs %d entries):\npooled   %s\nunpooled %s",
+			len(pAud), len(uAud), p, u)
+	}
+	if len(pDec) == 0 {
+		t.Fatal("workload produced no slot decisions; differential is vacuous")
+	}
+}

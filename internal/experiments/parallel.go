@@ -31,7 +31,11 @@ func parallelFor(n int, fn func(i int) error) error {
 		errIdx = -1
 		minErr error
 	)
-	next := make(chan int)
+	// One buffer slot per worker: the dispatcher stays a full round
+	// ahead, so a worker finishing an iteration dequeues the next index
+	// immediately instead of blocking on a rendezvous with the
+	// dispatcher goroutine.
+	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {

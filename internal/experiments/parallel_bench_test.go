@@ -1,0 +1,15 @@
+package experiments
+
+import "testing"
+
+// BenchmarkParallelForDispatch measures pure dispatch overhead: n no-op
+// iterations, so the cost is entirely channel handoff. The buffered
+// work channel (capacity = workers) lets the dispatcher run a round
+// ahead instead of performing a synchronous rendezvous per index.
+func BenchmarkParallelForDispatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := parallelFor(4096, func(int) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

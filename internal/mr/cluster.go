@@ -50,11 +50,23 @@ type Cluster struct {
 	nodeOps  [][]*fluidOp
 
 	controller   Controller
-	ctrlEvent    *sim.Event
-	sampleEvent  *sim.Event
+	ctrlEvent    sim.EventRef
+	sampleEvent  sim.EventRef
 	activeJobs   int
 	jobsToSubmit int
 	stopped      bool
+
+	// sampleFn/ctrlFn are the periodic tick callbacks, bound once so
+	// re-arming the sampler and controller each tick does not allocate
+	// a fresh closure.
+	sampleFn func()
+	ctrlFn   func()
+
+	// Object pooling. opPool recycles retired fluidOps; flow recycling
+	// lives on the fabric. noPool (Config.NoPooling or SMR_NO_POOL=1)
+	// disables both for the pooled-vs-unpooled differential verifier.
+	opPool []*fluidOp
+	noPool bool
 
 	// Trace, when non-nil, receives one line per notable runtime event
 	// (slot changes, barriers, job completion). Used by the examples.
@@ -202,6 +214,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.FullResolve || os.Getenv("SMR_FULL_RESOLVE") == "1" {
 		c.fabric.SetFullResolve(true)
 	}
+	if cfg.NoPooling || os.Getenv("SMR_NO_POOL") == "1" {
+		c.noPool = true
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		spec := cfg.NodeSpec
 		if cfg.NodeSpecs != nil {
@@ -224,6 +239,33 @@ func MustNewCluster(cfg Config) *Cluster {
 		panic(err)
 	}
 	return c
+}
+
+// newFlow builds a shuffle/read/replication flow, recycled from the
+// fabric's pool unless pooling is disabled. The caller registers it
+// with c.fabric.Add and must pair every removal with releaseFlow.
+func (c *Cluster) newFlow(src, dst int, mb, capMBps float64, label string) *netsim.Flow {
+	var f *netsim.Flow
+	if c.noPool {
+		f = &netsim.Flow{}
+	} else {
+		f = c.fabric.AcquireFlow()
+	}
+	f.Src, f.Dst = src, dst
+	f.RemainingMB, f.CapMBps = mb, capMBps
+	f.Label = label
+	return f
+}
+
+// releaseFlow returns an unregistered flow to the fabric pool. The
+// flow must already be Removed and unbound from its op (dropOp or
+// completion), and the caller must clear its own pointer: the object
+// may be reincarnated as an unrelated flow on the next acquire.
+func (c *Cluster) releaseFlow(f *netsim.Flow) {
+	if c.noPool {
+		return
+	}
+	c.fabric.ReleaseFlow(f)
 }
 
 // Config returns the cluster configuration.
@@ -323,10 +365,9 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 	// Start periodic machinery: staggered heartbeats, progress sampler,
 	// controller ticks.
 	for i, tt := range c.trackers {
-		tt := tt
 		offset := c.cfg.HeartbeatPeriod * float64(i) / float64(len(c.trackers))
 		tt.lastHB = 0
-		c.clock.Schedule(offset, fmt.Sprintf("hb0 tt%d", i), tt.heartbeat)
+		c.clock.Schedule(offset, fmt.Sprintf("hb0 tt%d", i), tt.hbFn)
 	}
 	c.scheduleSampler()
 	if c.controller != nil {
@@ -346,43 +387,50 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 	return jobs, nil
 }
 
-// scheduleSampler records progress curves for all running jobs.
+// scheduleSampler records progress curves for all running jobs. The
+// tick callback is bound once: re-arming every SampleInterval reuses
+// it, so steady-state sampling does not allocate.
 func (c *Cluster) scheduleSampler() {
-	c.sampleEvent = c.clock.After(c.cfg.SampleInterval, "sample", func() {
-		// No settle pass needed: op fractions settle lazily on read.
-		now := c.clock.Now()
-		for _, j := range c.jt.jobs {
-			if j.Submitted >= 0 && !j.Finished() {
-				j.Progress.Sample(now, j.mapProgressPct(), j.reduceProgressPct())
-			}
+	if c.sampleFn == nil {
+		c.sampleFn = c.sampleTick
+	}
+	c.sampleEvent = c.clock.After(c.cfg.SampleInterval, "sample", c.sampleFn)
+}
+
+func (c *Cluster) sampleTick() {
+	// No settle pass needed: op fractions settle lazily on read.
+	now := c.clock.Now()
+	for _, j := range c.jt.jobs {
+		if j.Submitted >= 0 && !j.Finished() {
+			j.Progress.Sample(now, j.mapProgressPct(), j.reduceProgressPct())
 		}
-		if c.util != nil {
-			runningMaps, runningReduces := 0, 0
-			inRate, shufRate := 0.0, 0.0
-			for _, tt := range c.trackers {
-				runningMaps += len(tt.runningMaps)
-				runningReduces += len(tt.runningReduces)
-				inRate += tt.mapInputRate.Value()
-				shufRate += tt.shuffleRate.Value()
-			}
-			c.util.RunningMaps.Add(now, float64(runningMaps))
-			c.util.RunningReduces.Add(now, float64(runningReduces))
-			c.util.MapInputMBps.Add(now, inRate)
-			c.util.ShuffleMBps.Add(now, shufRate)
+	}
+	if c.util != nil {
+		runningMaps, runningReduces := 0, 0
+		inRate, shufRate := 0.0, 0.0
+		for _, tt := range c.trackers {
+			runningMaps += len(tt.runningMaps)
+			runningReduces += len(tt.runningReduces)
+			inRate += tt.mapInputRate.Value()
+			shufRate += tt.shuffleRate.Value()
 		}
-		if c.inv != nil {
-			c.inv.CheckSample(now)
-			for _, tt := range c.trackers {
-				c.inv.CheckCounters(tt.id, tt.mapInputDoneMB, tt.mapOutputDoneMB, tt.shuffleDoneMB)
-			}
+		c.util.RunningMaps.Add(now, float64(runningMaps))
+		c.util.RunningReduces.Add(now, float64(runningReduces))
+		c.util.MapInputMBps.Add(now, inRate)
+		c.util.ShuffleMBps.Add(now, shufRate)
+	}
+	if c.inv != nil {
+		c.inv.CheckSample(now)
+		for _, tt := range c.trackers {
+			c.inv.CheckCounters(tt.id, tt.mapInputDoneMB, tt.mapOutputDoneMB, tt.shuffleDoneMB)
 		}
-		if c.telem != nil {
-			c.telem.Tick(now)
-		}
-		if !c.stopped {
-			c.scheduleSampler()
-		}
-	})
+	}
+	if c.telem != nil {
+		c.telem.Tick(now)
+	}
+	if !c.stopped {
+		c.scheduleSampler()
+	}
 }
 
 // scheduleController runs controller ticks on their interval. Each
@@ -390,17 +438,22 @@ func (c *Cluster) scheduleSampler() {
 // time, so the spans render as zero-width markers whose args carry the
 // tick ordinal — the decision instants between them are the payload.
 func (c *Cluster) scheduleController() {
-	c.ctrlEvent = c.clock.After(c.controller.Interval(), "controller", func() {
-		var ref trace.SpanRef
-		if c.tracer.Enabled() {
-			ref = c.tracer.Begin(c.clock.Now(), trace.PIDController, "controller", "tick")
-		}
-		c.Mutate(func() { c.controller.Tick(c) })
-		c.tracer.End(c.clock.Now(), ref)
-		if !c.stopped {
-			c.scheduleController()
-		}
-	})
+	if c.ctrlFn == nil {
+		c.ctrlFn = c.ctrlTick
+	}
+	c.ctrlEvent = c.clock.After(c.controller.Interval(), "controller", c.ctrlFn)
+}
+
+func (c *Cluster) ctrlTick() {
+	var ref trace.SpanRef
+	if c.tracer.Enabled() {
+		ref = c.tracer.Begin(c.clock.Now(), trace.PIDController, "controller", "tick")
+	}
+	c.Mutate(func() { c.controller.Tick(c) })
+	c.tracer.End(c.clock.Now(), ref)
+	if !c.stopped {
+		c.scheduleController()
+	}
 }
 
 // shutdown cancels periodic machinery so the event queue drains.

@@ -157,6 +157,13 @@ type Config struct {
 	// result. Debug/CI knob (also enabled by SMR_FULL_RESOLVE=1);
 	// roughly doubles network-resolution cost.
 	FullResolve bool
+
+	// NoPooling disables the Flow/fluidOp free-list recycling, so every
+	// task attempt allocates fresh objects as it did before pooling.
+	// Debug/CI knob (also enabled by SMR_NO_POOL=1): the differential
+	// verifier runs the same seeded workload pooled and unpooled and
+	// asserts identical stats and audit output.
+	NoPooling bool
 }
 
 // DefaultConfig mirrors the paper's workbench: 16 workers, 3 map +

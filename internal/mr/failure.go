@@ -68,7 +68,8 @@ func (c *Cluster) failTracker(tt *TaskTracker) {
 			}
 			if sf := r.flows[tt.id]; sf != nil {
 				c.fabric.Remove(sf.flow)
-				c.dropOp(sf.op)
+				c.dropOp(sf.op) // unbinds first: Userdata must be clear before release
+				c.releaseFlow(sf.flow)
 				r.flows[tt.id] = nil
 				r.nflows--
 				r.flowMaps[tt.id] = nil
@@ -189,12 +190,15 @@ func (c *Cluster) abortMap(m *mapTask) {
 	}
 	if m.readFlow != nil {
 		c.fabric.Remove(m.readFlow)
-		m.readFlow = nil
 	}
 	c.dropOp(m.computeOp)
-	c.dropOp(m.readOp)
+	c.dropOp(m.readOp) // unbinds the read flow before it goes back to the pool
 	c.dropOp(m.sortOp)
 	c.dropOp(m.spillOp)
+	if m.readFlow != nil {
+		c.releaseFlow(m.readFlow)
+		m.readFlow = nil
+	}
 	m.computeOp, m.readOp, m.sortOp, m.spillOp = nil, nil, nil, nil
 	delete(tt.runningMaps, m)
 	c.traceMapEnd(m, "aborted")
@@ -229,6 +233,7 @@ func (c *Cluster) abortReduce(r *reduceTask) {
 		}
 		c.fabric.Remove(sf.flow)
 		c.dropOp(sf.op)
+		c.releaseFlow(sf.flow)
 		r.flows[src] = nil
 	}
 	r.nflows = 0
@@ -237,14 +242,26 @@ func (c *Cluster) abortReduce(r *reduceTask) {
 	c.dropOp(r.redOp)
 	c.dropOp(r.writeOp)
 	r.sortOp, r.mergeOp, r.redOp, r.writeOp = nil, nil, nil, nil
+	// Pipeline pieces retire individually (completions nil their own
+	// slots), so teardown skips the already-gone entries. Ops drop
+	// before flows release: dropping unbinds Flow.Userdata.
 	for _, f := range r.pipeFlows {
-		c.fabric.Remove(f)
+		if f != nil {
+			c.fabric.Remove(f)
+		}
 	}
 	for i, a := range r.pipeActs {
-		c.nodes[r.pipeNodes[i]].Remove(a)
+		if a != nil {
+			c.nodes[r.pipeNodes[i]].Remove(a)
+		}
 	}
 	for _, op := range r.pipeOps {
 		c.dropOp(op)
+	}
+	for _, f := range r.pipeFlows {
+		if f != nil {
+			c.releaseFlow(f)
+		}
 	}
 	r.pipeFlows, r.pipeActs, r.pipeNodes, r.pipeOps = nil, nil, nil, nil
 	delete(tt.runningReduces, r)

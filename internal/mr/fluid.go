@@ -3,9 +3,10 @@ package mr
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"smapreduce/internal/netsim"
+	"smapreduce/internal/resource"
 	"smapreduce/internal/sim"
 )
 
@@ -18,16 +19,28 @@ import (
 // rate change, or completed. Because lastRate is updated at every rate
 // change, integrating a long untouched span in one step is exact up to
 // float rounding.
+//
+// Ops are pool-recycled (see releaseOp): a retired op goes back to the
+// cluster's free list with its fields reset, and its two completion
+// closures — allocated once per object — ride along, so steady-state
+// task churn creates no ops and no closures.
 type fluidOp struct {
 	label      string
-	total      float64        // initial work, for progress fractions
-	remaining  float64        // outstanding work as of lastSettle
-	rateFn     func() float64 // reads the current fluid rate
+	total      float64 // initial work, for progress fractions
+	remaining  float64 // outstanding work as of lastSettle
 	lastRate   float64
 	lastSettle float64
-	event      *sim.Event
+	event      sim.EventRef
 	onDone     func() // runs inside the mutation scope that retired the op
 	handler    func() // cached completion closure, reused across reschedules
+	complete   func() // cached Mutate body for handler, allocated once
+
+	// Rate source. Exactly one of flow, act, rateFn is set: fabric
+	// flows and node activities are bound directly (no per-op closure),
+	// loose ops carry an arbitrary closure (tests).
+	rateFn func() float64
+	act    *resource.Activity
+	flow   *netsim.Flow
 
 	// Dirty-tracking state. An op is bound to the rate source that can
 	// change its rate — a node's activity set (nodeID >= 0), a fabric
@@ -39,9 +52,20 @@ type fluidOp struct {
 	dirty     bool
 	nodeID    int // node binding; -1 when not node-bound
 	nodeSlot  int // position in c.nodeOps[nodeID]
-	flow      *netsim.Flow
 	loose     bool
 	looseSlot int // position in c.looseOps
+}
+
+// currentRate reads the op's rate from its bound source.
+func (o *fluidOp) currentRate() float64 {
+	switch {
+	case o.flow != nil:
+		return o.flow.Rate()
+	case o.act != nil:
+		return o.act.Rate()
+	default:
+		return o.rateFn()
+	}
 }
 
 // fraction reports completed work in [0,1], settling first so the
@@ -107,45 +131,112 @@ func (c *Cluster) markNodeOpsDirty(id int) {
 	}
 }
 
-// newOp builds and registers an unbound op. Must be called inside
-// Mutate. The caller binds it (node/flow/loose) before the scope ends.
-func (c *Cluster) newOp(label string, work float64, rateFn func() float64, onDone func()) *fluidOp {
+// bindHandlers allocates the op's two long-lived closures, once per
+// arena object: handler is what completion events invoke, complete is
+// the Mutate body it wraps. Allocating them here (not per schedule)
+// keeps the event loop allocation-free.
+func (c *Cluster) bindHandlers(op *fluidOp) {
+	op.complete = func() {
+		// Settle may leave a hair of work if rates fell since the
+		// event was scheduled; in that case re-arm instead of
+		// completing early.
+		c.settleOp(op)
+		if op.remaining > opEpsilon && op.lastRate > 0 {
+			c.markOpDirty(op) // refreshDirty will reschedule
+			return
+		}
+		op.remaining = 0
+		c.removeFromOps(op)
+		op.event = 0
+		done := op.onDone
+		if done != nil {
+			done() // may read op fields (e.g. total); release comes after
+		}
+		c.releaseOp(op)
+	}
+	op.handler = func() {
+		if !c.hasOp(op) {
+			return // dropped between scheduling and firing
+		}
+		op.event = 0 // this event has fired; it no longer guards the op
+		c.Mutate(op.complete)
+	}
+}
+
+// newOp builds and registers an unbound op, recycling from the pool
+// when possible. Must be called inside Mutate. The caller binds it
+// (node/flow/loose) before the scope ends.
+func (c *Cluster) newOp(label string, work float64, onDone func()) *fluidOp {
 	if c.mutDepth == 0 {
 		panic("mr: addOp outside Mutate")
 	}
 	if work < 0 || math.IsNaN(work) {
 		panic(fmt.Sprintf("mr: op %q with invalid work %v", label, work))
 	}
-	op := &fluidOp{
-		label:      label,
-		total:      work,
-		remaining:  work,
-		rateFn:     rateFn,
-		lastSettle: c.clock.Now(),
-		onDone:     onDone,
-		c:          c,
-		nodeID:     -1,
+	var op *fluidOp
+	if n := len(c.opPool); n > 0 {
+		op = c.opPool[n-1]
+		c.opPool[n-1] = nil
+		c.opPool = c.opPool[:n-1]
+	} else {
+		op = &fluidOp{c: c}
+		c.bindHandlers(op)
 	}
-	op.handler = c.completionHandler(op)
+	op.label = label
+	op.total = work
+	op.remaining = work
+	op.lastRate = 0
+	op.lastSettle = c.clock.Now()
+	op.onDone = onDone
+	op.nodeID = -1
+	op.event = 0
 	c.addToOps(op)
 	c.markOpDirty(op) // new ops always need a first refresh
 	return op
 }
 
+// releaseOp resets a retired op and returns it to the pool. Skipped
+// when pooling is disabled, when the op is still registered, or when a
+// stale reference to it sits in the dirty queue (rare teardown race —
+// the GC takes those; recycling them would let refreshDirty touch the
+// slot's next occupant).
+func (c *Cluster) releaseOp(op *fluidOp) {
+	if c.noPool || op.dirty || op.pos >= 0 {
+		return
+	}
+	op.label = ""
+	op.total = 0
+	op.remaining = 0
+	op.lastRate = 0
+	op.lastSettle = 0
+	op.event = 0
+	op.onDone = nil
+	op.rateFn = nil
+	op.act = nil
+	op.flow = nil
+	op.loose = false
+	op.nodeID = -1
+	c.opPool = append(c.opPool, op)
+}
+
 // addOp registers loose fluid work whose rate has no tracked source;
 // it is re-read on every Mutate. Tests use it with closure rates.
 func (c *Cluster) addOp(label string, work float64, rateFn func() float64, onDone func()) *fluidOp {
-	op := c.newOp(label, work, rateFn, onDone)
+	op := c.newOp(label, work, onDone)
+	op.rateFn = rateFn
 	op.loose = true
 	op.looseSlot = len(c.looseOps)
 	c.looseOps = append(c.looseOps, op)
 	return op
 }
 
-// addNodeOp registers fluid work whose rate derives from node id's
-// activity rates (CPU and disk phases).
-func (c *Cluster) addNodeOp(id int, label string, work float64, rateFn func() float64, onDone func()) *fluidOp {
-	op := c.newOp(label, work, rateFn, onDone)
+// addNodeOp registers fluid work whose rate derives from act, one of
+// node id's activities (CPU and disk phases). Binding the activity
+// directly — instead of taking a rate closure — keeps task launch
+// allocation-free; the op's label is the activity's.
+func (c *Cluster) addNodeOp(id int, work float64, act *resource.Activity, onDone func()) *fluidOp {
+	op := c.newOp(act.Label, work, onDone)
+	op.act = act
 	op.nodeID = id
 	op.nodeSlot = len(c.nodeOps[id])
 	c.nodeOps[id] = append(c.nodeOps[id], op)
@@ -154,7 +245,7 @@ func (c *Cluster) addNodeOp(id int, label string, work float64, rateFn func() fl
 
 // addFlowOp registers fluid work driven by a fabric flow's rate.
 func (c *Cluster) addFlowOp(flow *netsim.Flow, label string, work float64, onDone func()) *fluidOp {
-	op := c.newOp(label, work, flow.Rate, onDone)
+	op := c.newOp(label, work, onDone)
 	op.flow = flow
 	flow.Userdata = op
 	return op
@@ -198,6 +289,7 @@ func (c *Cluster) unbindOp(op *fluidOp) {
 		list[last] = nil
 		c.nodeOps[op.nodeID] = list[:last]
 		op.nodeID = -1
+		op.act = nil
 	case op.flow != nil:
 		op.flow.Userdata = nil
 		op.flow = nil
@@ -215,8 +307,10 @@ func (c *Cluster) hasOp(op *fluidOp) bool {
 	return op.pos >= 0
 }
 
-// dropOp unregisters an op without completing it (task teardown).
-// Safe to call on already-retired ops.
+// dropOp unregisters an op without completing it (task teardown) and
+// recycles it. Safe to call on nil and already-retired ops. Callers
+// must clear their own pointers to the op afterwards: once released it
+// may be reincarnated as unrelated work.
 func (c *Cluster) dropOp(op *fluidOp) {
 	if op == nil {
 		return
@@ -226,7 +320,8 @@ func (c *Cluster) dropOp(op *fluidOp) {
 	}
 	c.removeFromOps(op)
 	c.clock.Cancel(op.event)
-	op.event = nil
+	op.event = 0
+	c.releaseOp(op)
 }
 
 // topUpOp adds work to a live op (shuffle flows gain bytes when map
@@ -290,61 +385,45 @@ func (c *Cluster) refreshDirty() {
 			live = append(live, op)
 		}
 	}
-	sort.Slice(live, func(i, j int) bool { return live[i].pos < live[j].pos })
+	slices.SortFunc(live, func(a, b *fluidOp) int { return a.pos - b.pos })
 	now := c.clock.Now()
 	for _, op := range live {
 		c.settleOp(op)
-		rate := op.rateFn()
+		rate := op.currentRate()
 		if math.IsNaN(rate) || rate < 0 {
 			panic(fmt.Sprintf("mr: op %q has invalid rate %v", op.label, rate))
 		}
 		// Unchanged rate with a live event: the scheduled completion is
-		// still exact, so skip the cancel/reschedule churn. This is the
-		// common case for loose ops and node ops whose sibling count
-		// changed without moving the share.
-		if rate == op.lastRate && op.event != nil && !op.event.Cancelled() && op.remaining > opEpsilon {
+		// still exact, so skip the reschedule churn. This is the common
+		// case for loose ops and node ops whose sibling count changed
+		// without moving the share.
+		if rate == op.lastRate && c.clock.EventLive(op.event) && op.remaining > opEpsilon {
 			continue
 		}
 		op.lastRate = rate
-		c.clock.Cancel(op.event)
-		op.event = nil
+		var at float64
 		switch {
 		case op.remaining <= opEpsilon:
-			op.event = c.clock.Schedule(now, op.label, op.handler)
+			at = now
 		case rate > 0:
 			eta := op.remaining / rate
 			if math.IsInf(eta, 1) {
+				c.clock.Cancel(op.event)
+				op.event = 0
 				continue
 			}
-			op.event = c.clock.Schedule(now+eta, op.label, op.handler)
+			at = now + eta
+		default:
+			// Stalled: no event until the rate moves again.
+			c.clock.Cancel(op.event)
+			op.event = 0
+			continue
+		}
+		if c.clock.EventLive(op.event) {
+			op.event = c.clock.Reschedule(op.event, at)
+		} else {
+			op.event = c.clock.Schedule(at, op.label, op.handler)
 		}
 	}
 	c.dirtyOps = c.dirtyOps[:0]
-}
-
-// completionHandler retires the op and runs its continuation inside a
-// fresh mutation scope.
-func (c *Cluster) completionHandler(op *fluidOp) func() {
-	return func() {
-		if !c.hasOp(op) {
-			return // dropped between scheduling and firing
-		}
-		op.event = nil // this event has fired; it no longer guards the op
-		c.Mutate(func() {
-			// Settle may leave a hair of work if rates fell since the
-			// event was scheduled; in that case re-arm instead of
-			// completing early.
-			c.settleOp(op)
-			if op.remaining > opEpsilon && op.lastRate > 0 {
-				c.markOpDirty(op) // refreshDirty will reschedule
-				return
-			}
-			op.remaining = 0
-			c.removeFromOps(op)
-			op.event = nil
-			if op.onDone != nil {
-				op.onDone()
-			}
-		})
-	}
 }

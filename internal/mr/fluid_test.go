@@ -63,9 +63,15 @@ func TestOpZeroRateStalls(t *testing.T) {
 func TestTopUpExtendsCompletion(t *testing.T) {
 	c := fluidHarness()
 	done := -1.0
+	total := -1.0
 	var op *fluidOp
 	c.Mutate(func() {
-		op = c.addOp("x", 10, func() float64 { return 2 }, func() { done = c.clock.Now() })
+		op = c.addOp("x", 10, func() float64 { return 2 }, func() {
+			done = c.clock.Now()
+			// Fields are intact during onDone; afterwards the op may be
+			// reset and recycled by the pool.
+			total = op.total
+		})
 	})
 	c.clock.Schedule(2, "topup", func() {
 		c.Mutate(func() { c.topUpOp(op, 6) })
@@ -75,8 +81,8 @@ func TestTopUpExtendsCompletion(t *testing.T) {
 	if math.Abs(done-8) > 1e-9 {
 		t.Fatalf("completed at %v, want 8", done)
 	}
-	if op.total != 16 {
-		t.Fatalf("total = %v, want 16", op.total)
+	if total != 16 {
+		t.Fatalf("total = %v, want 16", total)
 	}
 }
 

@@ -147,12 +147,15 @@ func (c *Cluster) killAttempt(m *mapTask) {
 	}
 	if m.readFlow != nil {
 		c.fabric.Remove(m.readFlow)
-		m.readFlow = nil
 	}
 	c.dropOp(m.computeOp)
-	c.dropOp(m.readOp)
+	c.dropOp(m.readOp) // unbinds the read flow before it goes back to the pool
 	c.dropOp(m.sortOp)
 	c.dropOp(m.spillOp)
+	if m.readFlow != nil {
+		c.releaseFlow(m.readFlow)
+		m.readFlow = nil
+	}
 	m.computeOp, m.readOp, m.sortOp, m.spillOp = nil, nil, nil, nil
 	delete(tt.runningMaps, m)
 	c.traceMapEnd(m, "killed")

@@ -5,7 +5,6 @@ import (
 	"strconv"
 
 	"smapreduce/internal/dfs"
-	"smapreduce/internal/netsim"
 	"smapreduce/internal/resource"
 )
 
@@ -51,21 +50,24 @@ func (c *Cluster) launchMap(tt *TaskTracker, m *mapTask) {
 	}
 	tt.node.Add(m.cpuAct)
 	work := m.split.SizeMB * prof.MapCPUPerMB * c.rng.Jitter(c.cfg.Jitter)
-	m.computeOp = c.addNodeOp(tt.id, m.cpuAct.Label, work, m.cpuAct.Rate, func() {
+	m.computeOp = c.addNodeOp(tt.id, work, m.cpuAct, func() {
 		tt.node.Remove(m.cpuAct)
 		m.cpuAct = nil
+		m.computeOp = nil
 		c.mapPhaseOpDone(m)
 	})
 
 	if host := c.nearestLiveHost(tt.id, m.split); host != tt.id {
 		m.pendingOps++
-		flow := &netsim.Flow{Src: host, Dst: tt.id, RemainingMB: m.split.SizeMB,
-			Label: fmt.Sprintf("read %s/%d", m.job.Spec.Name, m.id)}
+		flow := c.newFlow(host, tt.id, m.split.SizeMB, 0,
+			fmt.Sprintf("read %s/%d", m.job.Spec.Name, m.id))
 		c.fabric.Add(flow)
 		m.readFlow = flow
 		m.readOp = c.addFlowOp(flow, flow.Label, m.split.SizeMB, func() {
 			c.fabric.Remove(flow)
 			m.readFlow = nil
+			m.readOp = nil
+			c.releaseFlow(flow)
 			c.mapPhaseOpDone(m)
 		})
 	}
@@ -136,9 +138,10 @@ func (c *Cluster) startMapSpill(m *mapTask) {
 			Label:       fmt.Sprintf("sort %s/%d", m.job.Spec.Name, m.id),
 		}
 		tt.node.Add(m.cpuAct)
-		m.sortOp = c.addNodeOp(tt.id, m.cpuAct.Label, sortWork, m.cpuAct.Rate, func() {
+		m.sortOp = c.addNodeOp(tt.id, sortWork, m.cpuAct, func() {
 			tt.node.Remove(m.cpuAct)
 			m.cpuAct = nil
+			m.sortOp = nil
 			c.mapPhaseOpDone(m)
 		})
 	}
@@ -151,9 +154,10 @@ func (c *Cluster) startMapSpill(m *mapTask) {
 			Label:     fmt.Sprintf("spill %s/%d", m.job.Spec.Name, m.id),
 		}
 		tt.node.Add(m.diskAct)
-		m.spillOp = c.addNodeOp(tt.id, m.diskAct.Label, m.preCombineMB, m.diskAct.Rate, func() {
+		m.spillOp = c.addNodeOp(tt.id, m.preCombineMB, m.diskAct, func() {
 			tt.node.Remove(m.diskAct)
 			m.diskAct = nil
+			m.spillOp = nil
 			c.mapPhaseOpDone(m)
 		})
 	}
@@ -280,11 +284,8 @@ func (c *Cluster) startFetch(r *reduceTask, src int, mb float64) {
 	if r.fetchLabel == "" {
 		r.fetchLabel = "shuffle " + r.job.Spec.Name + "/r" + strconv.Itoa(r.partition) + "<-"
 	}
-	flow := &netsim.Flow{
-		Src: src, Dst: r.tracker.id, RemainingMB: mb,
-		CapMBps: c.cfg.PerFetchMBps,
-		Label:   r.fetchLabel + strconv.Itoa(src),
-	}
+	flow := c.newFlow(src, r.tracker.id, mb, c.cfg.PerFetchMBps,
+		r.fetchLabel+strconv.Itoa(src))
 	c.fabric.Add(flow)
 	sf := &shuffleFlow{flow: flow}
 	tt := r.tracker
@@ -296,8 +297,14 @@ func (c *Cluster) startFetch(r *reduceTask, src int, mb float64) {
 			r.got[m.id] = true
 		}
 		r.flowMaps[src] = nil
-		r.fetchedMB += sf.op.total
-		tt.shuffleDoneMB += sf.op.total
+		// total includes post-launch top-ups, so read it from the op
+		// (still intact inside onDone) rather than the launch-time mb.
+		moved := sf.op.total
+		r.fetchedMB += moved
+		tt.shuffleDoneMB += moved
+		sf.op = nil
+		sf.flow = nil
+		c.releaseFlow(flow)
 		c.activateFetches(r)
 		c.checkShuffleDone(r)
 	})
@@ -391,9 +398,10 @@ func (c *Cluster) startReduceSort(r *reduceTask) {
 			Label:       fmt.Sprintf("rsort %s/r%d", r.job.Spec.Name, r.partition),
 		}
 		tt.node.Add(r.cpuAct)
-		r.sortOp = c.addNodeOp(tt.id, r.cpuAct.Label, mergeWork, r.cpuAct.Rate, func() {
+		r.sortOp = c.addNodeOp(tt.id, mergeWork, r.cpuAct, func() {
 			tt.node.Remove(r.cpuAct)
 			r.cpuAct = nil
+			r.sortOp = nil
 			c.reducePhaseOpDone(r)
 		})
 	}
@@ -406,9 +414,10 @@ func (c *Cluster) startReduceSort(r *reduceTask) {
 			Label:     fmt.Sprintf("rmerge %s/r%d", r.job.Spec.Name, r.partition),
 		}
 		tt.node.Add(r.diskAct)
-		r.mergeOp = c.addNodeOp(tt.id, r.diskAct.Label, r.fetchedMB, r.diskAct.Rate, func() {
+		r.mergeOp = c.addNodeOp(tt.id, r.fetchedMB, r.diskAct, func() {
 			tt.node.Remove(r.diskAct)
 			r.diskAct = nil
+			r.mergeOp = nil
 			c.reducePhaseOpDone(r)
 		})
 	}
@@ -456,9 +465,10 @@ func (c *Cluster) startReduceCompute(r *reduceTask) {
 			Label:       fmt.Sprintf("reduce %s/r%d", r.job.Spec.Name, r.partition),
 		}
 		tt.node.Add(r.cpuAct)
-		r.redOp = c.addNodeOp(tt.id, r.cpuAct.Label, redWork, r.cpuAct.Rate, func() {
+		r.redOp = c.addNodeOp(tt.id, redWork, r.cpuAct, func() {
 			tt.node.Remove(r.cpuAct)
 			r.cpuAct = nil
+			r.redOp = nil
 			c.reducePhaseOpDone(r)
 		})
 	}
@@ -472,9 +482,10 @@ func (c *Cluster) startReduceCompute(r *reduceTask) {
 			Label:     fmt.Sprintf("rout %s/r%d", r.job.Spec.Name, r.partition),
 		}
 		tt.node.Add(r.diskAct)
-		r.writeOp = c.addNodeOp(tt.id, r.diskAct.Label, outMB, r.diskAct.Rate, func() {
+		r.writeOp = c.addNodeOp(tt.id, outMB, r.diskAct, func() {
 			tt.node.Remove(r.diskAct)
 			r.diskAct = nil
+			r.writeOp = nil
 			c.reducePhaseOpDone(r)
 		})
 		// HDFS write pipeline: each extra replica streams the output
@@ -487,8 +498,8 @@ func (c *Cluster) startReduceCompute(r *reduceTask) {
 				break // not enough live nodes; degrade like HDFS does
 			}
 			r.pendingOps++
-			flow := &netsim.Flow{Src: tt.id, Dst: target, RemainingMB: outMB,
-				Label: fmt.Sprintf("repl %s/r%d->%d", r.job.Spec.Name, r.partition, target)}
+			flow := c.newFlow(tt.id, target, outMB, 0,
+				fmt.Sprintf("repl %s/r%d->%d", r.job.Spec.Name, r.partition, target))
 			c.fabric.Add(flow)
 			remoteDisk := &resource.Activity{Kind: resource.Disk, Remaining: 1, Weight: 0.2,
 				Label: fmt.Sprintf("repl-disk %s/r%d@%d", r.job.Spec.Name, r.partition, target)}
@@ -498,6 +509,13 @@ func (c *Cluster) startReduceCompute(r *reduceTask) {
 			// refresh is overkill — run the two ops in series-free
 			// parallel and require both, which matches a fluid pipe
 			// whose slower stage dominates.
+			//
+			// Each completion clears its own entry in the parallel pipe
+			// slices (slot indices captured here), so teardown after a
+			// failure only sees the pieces that are still live.
+			flowSlot := len(r.pipeFlows)
+			actSlot := len(r.pipeActs)
+			opSlot := len(r.pipeOps)
 			flowDone := false
 			diskDone := false
 			finish := func() {
@@ -507,11 +525,16 @@ func (c *Cluster) startReduceCompute(r *reduceTask) {
 			}
 			fOp := c.addFlowOp(flow, flow.Label, outMB, func() {
 				c.fabric.Remove(flow)
+				r.pipeFlows[flowSlot] = nil
+				r.pipeOps[opSlot] = nil
+				c.releaseFlow(flow)
 				flowDone = true
 				finish()
 			})
-			dOp := c.addNodeOp(target, remoteDisk.Label, outMB, remoteDisk.Rate, func() {
+			dOp := c.addNodeOp(target, outMB, remoteDisk, func() {
 				c.nodes[target].Remove(remoteDisk)
+				r.pipeActs[actSlot] = nil
+				r.pipeOps[opSlot+1] = nil
 				diskDone = true
 				finish()
 			})

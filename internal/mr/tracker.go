@@ -2,6 +2,7 @@ package mr
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"smapreduce/internal/resource"
@@ -43,15 +44,25 @@ type TaskTracker struct {
 	lastMapInputMB    float64
 	lastMapOutputMB   float64
 	lastShuffleMB     float64
-	hbEvent           *sim.Event
+	hbEvent           sim.EventRef
 	disturbance       *resource.Activity
-	disturbanceExpiry *sim.Event
+	disturbanceExpiry sim.EventRef
+
+	// Heartbeat machinery, bound once at construction so the periodic
+	// re-arm allocates nothing: the event label, the clock callback,
+	// and the Mutate body it wraps.
+	hbLabel  string
+	hbFn     func()
+	hbTickFn func()
+
+	// scratch backs the inFlight* summations between heartbeats.
+	scratch []float64
 
 	drainSpan trace.SpanRef // open lazy-drain span when tracing
 }
 
 func newTaskTracker(c *Cluster, id int, node *resource.Node) *TaskTracker {
-	return &TaskTracker{
+	tt := &TaskTracker{
 		c:              c,
 		id:             id,
 		node:           node,
@@ -62,7 +73,11 @@ func newTaskTracker(c *Cluster, id int, node *resource.Node) *TaskTracker {
 		mapInputRate:   stats.NewEWMA(0.3),
 		mapOutputRate:  stats.NewEWMA(0.3),
 		shuffleRate:    stats.NewEWMA(0.3),
+		hbLabel:        fmt.Sprintf("hb tt%d", id),
 	}
+	tt.hbFn = tt.heartbeat
+	tt.hbTickFn = tt.hbTick
+	return tt
 }
 
 // ID returns the tracker's node ID.
@@ -228,40 +243,46 @@ func (tt *TaskTracker) applyDisturbance() {
 
 // heartbeat is the tracker's periodic exchange with the job tracker:
 // sample statistics, pick up slot commands, and receive new tasks.
+// Both the Mutate body and the re-arm callback are the cached
+// closures, so a heartbeat on an idle tracker allocates nothing.
 func (tt *TaskTracker) heartbeat() {
+	tt.c.Mutate(tt.hbTickFn)
+	tt.hbEvent = tt.c.clock.After(tt.c.cfg.HeartbeatPeriod, tt.hbLabel, tt.hbFn)
+}
+
+// hbTick is the heartbeat's mutation body.
+func (tt *TaskTracker) hbTick() {
 	c := tt.c
 	now := c.clock.Now()
 
-	c.Mutate(func() {
-		// Sample window rates since the previous heartbeat. Op
-		// fractions settle lazily on read, so they are current here.
-		if dt := now - tt.lastHB; dt > 0 {
-			tt.mapInputRate.Observe((tt.mapInputDoneMB + tt.inFlightMapInputMB() - tt.lastMapInputMB) / dt)
-			tt.mapOutputRate.Observe((tt.mapOutputDoneMB + tt.inFlightMapOutputMB() - tt.lastMapOutputMB) / dt)
-			tt.shuffleRate.Observe((tt.shuffleDoneMB + tt.inFlightShuffleMB() - tt.lastShuffleMB) / dt)
-		}
-		tt.lastHB = now
-		tt.lastMapInputMB = tt.mapInputDoneMB + tt.inFlightMapInputMB()
-		tt.lastMapOutputMB = tt.mapOutputDoneMB + tt.inFlightMapOutputMB()
-		tt.lastShuffleMB = tt.shuffleDoneMB + tt.inFlightShuffleMB()
+	// Sample window rates since the previous heartbeat. Op
+	// fractions settle lazily on read, so they are current here.
+	if dt := now - tt.lastHB; dt > 0 {
+		tt.mapInputRate.Observe((tt.mapInputDoneMB + tt.inFlightMapInputMB() - tt.lastMapInputMB) / dt)
+		tt.mapOutputRate.Observe((tt.mapOutputDoneMB + tt.inFlightMapOutputMB() - tt.lastMapOutputMB) / dt)
+		tt.shuffleRate.Observe((tt.shuffleDoneMB + tt.inFlightShuffleMB() - tt.lastShuffleMB) / dt)
+	}
+	tt.lastHB = now
+	tt.lastMapInputMB = tt.mapInputDoneMB + tt.inFlightMapInputMB()
+	tt.lastMapOutputMB = tt.mapOutputDoneMB + tt.inFlightMapOutputMB()
+	tt.lastShuffleMB = tt.shuffleDoneMB + tt.inFlightShuffleMB()
 
-		// Heartbeat response: slot commands decided by the slot manager.
-		if c.cfg.Policy == Dynamic {
-			maps, reduces := c.jt.desiredSlots(tt.id)
-			tt.setTargets(maps, reduces)
-		}
+	// Heartbeat response: slot commands decided by the slot manager.
+	if c.cfg.Policy == Dynamic {
+		maps, reduces := c.jt.desiredSlots(tt.id)
+		tt.setTargets(maps, reduces)
+	}
 
-		// Task assignment for free slots.
-		c.jt.assign(tt)
-	})
-
-	tt.hbEvent = c.clock.After(c.cfg.HeartbeatPeriod, fmt.Sprintf("hb tt%d", tt.id), tt.heartbeat)
+	// Task assignment for free slots.
+	c.jt.assign(tt)
 }
 
 // inFlightMapInputMB estimates input MB consumed by still-running map
-// tasks, so window rates do not jump at task boundaries.
+// tasks, so window rates do not jump at task boundaries. The value
+// slices behind the inFlight* estimators are tracker-owned scratch,
+// reused call to call.
 func (tt *TaskTracker) inFlightMapInputMB() float64 {
-	vals := make([]float64, 0, len(tt.runningMaps))
+	vals := tt.scratch[:0]
 	for m := range tt.runningMaps {
 		if m.phase == 0 && m.computeOp != nil {
 			vals = append(vals, m.split.SizeMB*m.computeOp.fraction())
@@ -269,12 +290,14 @@ func (tt *TaskTracker) inFlightMapInputMB() float64 {
 			vals = append(vals, m.split.SizeMB)
 		}
 	}
-	return sumAscending(vals)
+	total := sumAscending(vals)
+	tt.scratch = vals[:0]
+	return total
 }
 
 // inFlightMapOutputMB mirrors inFlightMapInputMB for produced output.
 func (tt *TaskTracker) inFlightMapOutputMB() float64 {
-	vals := make([]float64, 0, len(tt.runningMaps))
+	vals := tt.scratch[:0]
 	for m := range tt.runningMaps {
 		if m.phase == 0 && m.computeOp != nil {
 			vals = append(vals, m.shuffleMB*m.computeOp.fraction())
@@ -282,12 +305,14 @@ func (tt *TaskTracker) inFlightMapOutputMB() float64 {
 			vals = append(vals, m.shuffleMB)
 		}
 	}
-	return sumAscending(vals)
+	total := sumAscending(vals)
+	tt.scratch = vals[:0]
+	return total
 }
 
 // inFlightShuffleMB counts bytes moved by still-active fetch flows.
 func (tt *TaskTracker) inFlightShuffleMB() float64 {
-	var vals []float64
+	vals := tt.scratch[:0]
 	for r := range tt.runningReduces {
 		for _, sf := range r.flows {
 			if sf != nil {
@@ -295,7 +320,9 @@ func (tt *TaskTracker) inFlightShuffleMB() float64 {
 			}
 		}
 	}
-	return sumAscending(vals)
+	total := sumAscending(vals)
+	tt.scratch = vals[:0]
+	return total
 }
 
 // sumAscending adds the values smallest-first, making the float result
@@ -303,7 +330,7 @@ func (tt *TaskTracker) inFlightShuffleMB() float64 {
 // audit records and trace export, which must be bit-reproducible
 // run-to-run.
 func sumAscending(vals []float64) float64 {
-	sort.Float64s(vals)
+	slices.Sort(vals)
 	total := 0.0
 	for _, v := range vals {
 		total += v

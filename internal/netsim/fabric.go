@@ -124,6 +124,11 @@ type Flow struct {
 	links  [4]int32
 	slots  [4]int32
 	visit  uint32
+
+	// pooled marks a flow sitting on its fabric's free list. It guards
+	// against double-release and use-after-release: Add and ReleaseFlow
+	// panic on a pooled flow.
+	pooled bool
 }
 
 // Rate returns the flow's current allocation in MB/s, valid until the
@@ -203,6 +208,11 @@ type Fabric struct {
 	stampCur   uint32
 	scopeLinks []int32
 	rateSnap   []float64
+
+	// flowPool is the free list behind AcquireFlow/ReleaseFlow. Flows
+	// are reset on release, so steady-state churn (the dominant
+	// allocation source in long runs) recycles instead of allocating.
+	flowPool []*Flow
 }
 
 // NewFabric builds a fabric. Invalid configs panic (static configuration).
@@ -402,6 +412,9 @@ func (fb *Fabric) Add(f *Flow) {
 	if f.fabric != nil {
 		panic(fmt.Sprintf("netsim: flow %q already registered", f.Label))
 	}
+	if f.pooled {
+		panic(fmt.Sprintf("netsim: flow %q used after release to pool", f.Label))
+	}
 	if f.Src < 0 || f.Src >= fb.cfg.Nodes || f.Dst < 0 || f.Dst >= fb.cfg.Nodes {
 		panic(fmt.Sprintf("netsim: flow %q endpoints (%d,%d) out of range", f.Label, f.Src, f.Dst))
 	}
@@ -465,6 +478,38 @@ func (fb *Fabric) Remove(f *Flow) {
 	if fb.auto {
 		fb.ResolveDirty()
 	}
+}
+
+// AcquireFlow returns a zeroed Flow, recycled from the fabric's free
+// list when one is available. Callers fill the public fields and pass
+// it to Add as usual; a flow obtained here must eventually go back via
+// ReleaseFlow (or be dropped to the GC — the pool never requires
+// return, it only rewards it).
+func (fb *Fabric) AcquireFlow() *Flow {
+	if n := len(fb.flowPool); n > 0 {
+		f := fb.flowPool[n-1]
+		fb.flowPool[n-1] = nil
+		fb.flowPool = fb.flowPool[:n-1]
+		f.pooled = false
+		return f
+	}
+	return &Flow{}
+}
+
+// ReleaseFlow resets f and pushes it onto the free list. The flow must
+// be unregistered (Remove it first) and must not be released twice;
+// both misuses panic because a recycled-while-live flow corrupts rate
+// state in ways that surface far from the bug. The reset clears every
+// field including Userdata, so no caller state leaks across reuse.
+func (fb *Fabric) ReleaseFlow(f *Flow) {
+	if f.fabric != nil {
+		panic(fmt.Sprintf("netsim: release of still-registered flow %q", f.Label))
+	}
+	if f.pooled {
+		panic(fmt.Sprintf("netsim: double release of flow %q", f.Label))
+	}
+	*f = Flow{pooled: true}
+	fb.flowPool = append(fb.flowPool, f)
 }
 
 // ingressCap returns node dst's effective receive capacity under the

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// Regression for the pre-arena bug: Cancel on an event that already
+// fired used to mark it cancelled, so Cancelled() lied. Fired and
+// cancelled are now distinct terminal states.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	c := NewClock()
+	ran := false
+	e := c.Schedule(1, "x", func() { ran = true })
+	c.Step()
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	c.Cancel(e)
+	if c.EventCancelled(e) {
+		t.Fatal("Cancel after fire reported the event as cancelled")
+	}
+	if !c.EventFired(e) {
+		t.Fatal("EventFired() = false for a fired event")
+	}
+	if c.EventLive(e) {
+		t.Fatal("EventLive() = true for a fired event")
+	}
+}
+
+// A ref whose slot has been recycled must be inert: Cancel must not
+// touch the slot's new occupant, and state queries report nothing.
+func TestStaleRefIsInert(t *testing.T) {
+	c := NewClock()
+	stale := c.Schedule(1, "old", func() {})
+	c.Cancel(stale) // slot goes to the free list
+	fired := false
+	fresh := c.Schedule(2, "new", func() { fired = true }) // recycles the slot
+	if stale == fresh {
+		t.Fatal("recycled slot produced an identical ref (generation not bumped)")
+	}
+	c.Cancel(stale) // must NOT cancel the new occupant
+	if c.EventLive(stale) || c.EventFired(stale) || c.EventCancelled(stale) {
+		t.Fatal("stale ref still reports event state")
+	}
+	c.RunUntilIdle(10)
+	if !fired {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+
+	// Reschedule of a recycled ref panics: the callback is gone.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reschedule of a recycled ref did not panic")
+		}
+	}()
+	c.Reschedule(stale, 5)
+}
+
+// Reschedule keeps the same ref for a pending event and bumps its
+// sequence number, so among same-time events it fires as if newly
+// scheduled — identical to the old cancel+schedule semantics.
+func TestRescheduleInPlace(t *testing.T) {
+	c := NewClock()
+	var got []string
+	e := c.Schedule(1, "moved", func() { got = append(got, "moved") })
+	c.Schedule(5, "tie", func() { got = append(got, "tie") })
+	e2 := c.Reschedule(e, 5)
+	if e2 != e {
+		t.Fatalf("in-place Reschedule changed the ref: %#x -> %#x", int64(e), int64(e2))
+	}
+	if !c.EventLive(e) {
+		t.Fatal("rescheduled event not live")
+	}
+	c.RunUntilIdle(10)
+	if len(got) != 2 || got[0] != "tie" || got[1] != "moved" {
+		t.Fatalf("got %v, want [tie moved] (rescheduled event takes a fresh seq)", got)
+	}
+}
+
+// Slab growth while the loop is running: callbacks that schedule
+// cascades force repeated slab reallocation mid-Run, and every ref
+// taken before a growth must stay valid after it.
+func TestSlabGrowthMidRun(t *testing.T) {
+	c := NewClock()
+	fired := 0
+	var refs []EventRef
+	var cascade func(depth int)
+	cascade = func(depth int) {
+		fired++
+		if depth == 0 {
+			return
+		}
+		// Fan out wider than the current slab so append reallocates.
+		for i := 0; i < 8; i++ {
+			refs = append(refs, c.After(float64(i+1), "grow", func() { cascade(depth - 1) }))
+		}
+	}
+	refs = append(refs, c.Schedule(0, "root", func() { cascade(3) }))
+	c.RunUntilIdle(1_000_000)
+	want := 1 + 8 + 64 + 512 // geometric cascade, depth 3
+	if fired != want {
+		t.Fatalf("fired %d events, want %d", fired, want)
+	}
+	for _, r := range refs {
+		if c.EventLive(r) {
+			t.Fatal("event still live after RunUntilIdle")
+		}
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d after idle, want 0", c.Pending())
+	}
+}
+
+// Differential churn: drive the arena clock and a trivial reference
+// model (sorted slice of records) through the same seeded random
+// schedule/cancel/reschedule/step sequence and demand identical firing
+// order. This exercises free-list reuse, the 4-ary heap property, and
+// in-place sift fix-up under adversarial interleavings.
+func TestChurnDifferential(t *testing.T) {
+	type refEvent struct {
+		at  Time
+		seq uint64
+		id  int
+	}
+	rng := NewRand(1234)
+	c := NewClock()
+
+	var model []refEvent // pending, unordered
+	modelSeq := uint64(0)
+	live := map[int]EventRef{} // id -> ref for events believed pending
+	var gotOrder, wantOrder []int
+	nextID := 0
+
+	schedule := func() {
+		at := c.Now() + rng.Float64()*10
+		id := nextID
+		nextID++
+		live[id] = c.Schedule(at, "churn", func() { gotOrder = append(gotOrder, id) })
+		modelSeq++
+		model = append(model, refEvent{at, modelSeq, id})
+	}
+	cancel := func() {
+		for id, ref := range live { // map order is fine: any victim will do
+			c.Cancel(ref)
+			delete(live, id)
+			for i := range model {
+				if model[i].id == id {
+					model = append(model[:i], model[i+1:]...)
+					break
+				}
+			}
+			return
+		}
+	}
+	reschedule := func() {
+		for id, ref := range live {
+			at := c.Now() + rng.Float64()*10
+			live[id] = c.Reschedule(ref, at)
+			modelSeq++
+			for i := range model {
+				if model[i].id == id {
+					model[i].at = at
+					model[i].seq = modelSeq
+					break
+				}
+			}
+			return
+		}
+	}
+	step := func() {
+		if len(model) == 0 {
+			if c.Step() {
+				t.Fatal("clock fired with empty model")
+			}
+			return
+		}
+		best := 0
+		for i := 1; i < len(model); i++ {
+			if model[i].at < model[best].at ||
+				(model[i].at == model[best].at && model[i].seq < model[best].seq) {
+				best = i
+			}
+		}
+		wantOrder = append(wantOrder, model[best].id)
+		delete(live, model[best].id)
+		model = append(model[:best], model[best+1:]...)
+		if !c.Step() {
+			t.Fatal("clock idle with non-empty model")
+		}
+	}
+
+	for i := 0; i < 5000; i++ {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			schedule()
+		case r < 6:
+			cancel()
+		case r < 7:
+			reschedule()
+		default:
+			step()
+		}
+		if c.Pending() != len(model) {
+			t.Fatalf("iter %d: Pending() = %d, model has %d", i, c.Pending(), len(model))
+		}
+	}
+	for len(model) > 0 {
+		step()
+	}
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("fired %d events, model fired %d", len(gotOrder), len(wantOrder))
+	}
+	for i := range gotOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("firing order diverged at %d: got id %d, want id %d", i, gotOrder[i], wantOrder[i])
+		}
+	}
+}
+
+// The steady-state event loop must be allocation-free: a warmed clock
+// firing self-rescheduling events touches only recycled slots.
+func TestEventLoopZeroAlloc(t *testing.T) {
+	c := NewClock()
+	var rearm func()
+	count := 0
+	rearm = func() {
+		count++
+		if count < 1<<20 {
+			c.After(1, "tick", rearm)
+		}
+	}
+	c.Schedule(0, "tick", rearm)
+	// Warm up: grow the slab and heap to steady-state size.
+	for i := 0; i < 64; i++ {
+		c.Step()
+	}
+	allocs := testing.AllocsPerRun(512, func() {
+		c.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+// Heap invariant spot-check after heavy churn: draining the queue must
+// yield non-decreasing times (unique seqs make the order total, so any
+// heap corruption shows up as an inversion).
+func TestDrainOrderAfterChurn(t *testing.T) {
+	rng := NewRand(99)
+	c := NewClock()
+	var refs []EventRef
+	for i := 0; i < 2000; i++ {
+		refs = append(refs, c.Schedule(rng.Float64()*100, "x", func() {}))
+	}
+	for i := 0; i < 500; i++ {
+		c.Cancel(refs[rng.Intn(len(refs))])
+	}
+	for i := 0; i < 500; i++ {
+		r := refs[rng.Intn(len(refs))]
+		if c.EventLive(r) {
+			c.Reschedule(r, rng.Float64()*100)
+		}
+	}
+	var times []Time
+	for c.Pending() > 0 {
+		times = append(times, c.slots[c.heap[0]].at)
+		c.Step()
+	}
+	if !sort.Float64sAreSorted(times) {
+		t.Fatal("drain order not sorted after churn")
+	}
+}

@@ -5,10 +5,16 @@
 // All simulated time is expressed in seconds as float64. The event loop
 // is strictly single-threaded; determinism is guaranteed by breaking
 // time ties with a monotonically increasing sequence number.
+//
+// Events live in a slab-backed arena rather than as individually
+// heap-allocated objects: Schedule hands out generation-stamped
+// EventRef handles, retired slots are recycled through a free list, and
+// the priority queue is an index heap over slot numbers. In steady
+// state (schedule/fire/cancel churn at stable queue depth) the event
+// loop performs zero allocations.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -16,38 +22,58 @@ import (
 // Time is a point in virtual time, in seconds since simulation start.
 type Time = float64
 
-// Event is a scheduled callback. Events are created by Clock.Schedule
-// and may be cancelled before they fire.
-type Event struct {
-	at     Time
-	seq    uint64
-	index  int // heap index; -1 once popped or cancelled
-	fn     func()
-	label  string
-	cancel bool
+// EventRef is a generation-stamped handle to a scheduled event. The
+// zero EventRef is invalid and safe to Cancel (a no-op), so callers can
+// tear state down unconditionally. A ref outlives its event: state
+// queries (EventLive, EventFired, EventCancelled) keep answering until
+// the underlying arena slot is recycled by a later Schedule, and Cancel
+// on a recycled slot is detected by generation mismatch instead of
+// corrupting the slot's new occupant.
+type EventRef int64
+
+// Event slot states. A slot is exactly one of: free-and-never-used
+// (zero state), pending (queued in the heap), fired, or cancelled.
+// Fired and cancelled are distinct so Cancel after the event ran does
+// not masquerade as a successful cancellation.
+const (
+	evPending uint8 = iota + 1
+	evFired
+	evCancelled
+)
+
+// eventSlot is one arena entry. fn and label survive fire/cancel so a
+// terminal ref can still be re-armed by Reschedule; they are
+// overwritten when the slot is recycled by a later Schedule.
+type eventSlot struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	label    string
+	heapIdx  int32 // position in Clock.heap; -1 when not queued
+	nextFree int32 // free-list link; meaningful only while on the list
+	gen      int32 // bumped on every allocation; high half of the ref
+	state    uint8
 }
-
-// At reports the virtual time the event is (or was) scheduled to fire.
-func (e *Event) At() Time { return e.at }
-
-// Label reports the diagnostic label given at scheduling time.
-func (e *Event) Label() string { return e.label }
-
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
 
 // Clock owns virtual time and the pending event set.
 // The zero value is not usable; call NewClock.
 type Clock struct {
 	now   Time
 	seq   uint64
-	queue eventHeap
 	fired uint64
+
+	// Event arena: a growable slab of slots, a LIFO free list threaded
+	// through nextFree, and a 4-ary index heap of pending slot numbers
+	// ordered by (at, seq). 4-ary keeps the hot sift paths shallow and
+	// the child scan within one cache line of int32 indices.
+	slots    []eventSlot
+	freeHead int32
+	heap     []int32
 }
 
 // NewClock returns a clock positioned at time zero with no pending events.
 func NewClock() *Clock {
-	return &Clock{}
+	return &Clock{freeHead: -1}
 }
 
 // Now returns the current virtual time.
@@ -57,14 +83,74 @@ func (c *Clock) Now() Time { return c.now }
 func (c *Clock) Fired() uint64 { return c.fired }
 
 // Pending reports how many events are scheduled and not yet cancelled.
-func (c *Clock) Pending() int {
-	n := 0
-	for _, e := range c.queue {
-		if !e.cancel {
-			n++
-		}
+// O(1): cancelled events leave the heap eagerly, so the heap length is
+// the pending count.
+func (c *Clock) Pending() int { return len(c.heap) }
+
+// makeRef packs a slot index and its generation into a handle. The +1
+// keeps the zero EventRef invalid.
+func makeRef(gen, idx int32) EventRef {
+	return EventRef(int64(gen)<<32 | int64(idx)+1)
+}
+
+// slot resolves a ref to its arena slot, or nil when the ref is zero,
+// out of range, or of an earlier generation than the slot's current
+// occupant (the event's slot has been recycled).
+func (c *Clock) slot(ref EventRef) *eventSlot {
+	idx := int32(uint32(ref)) - 1
+	if idx < 0 || int(idx) >= len(c.slots) {
+		return nil
 	}
-	return n
+	s := &c.slots[idx]
+	if s.gen != int32(ref>>32) {
+		return nil
+	}
+	return s
+}
+
+// EventLive reports whether ref's event is still queued to fire.
+// False for fired, cancelled, recycled, and zero refs.
+func (c *Clock) EventLive(ref EventRef) bool {
+	s := c.slot(ref)
+	return s != nil && s.state == evPending
+}
+
+// EventFired reports whether ref's event has run. Exact until the
+// event's arena slot is recycled, after which it reports false.
+func (c *Clock) EventFired(ref EventRef) bool {
+	s := c.slot(ref)
+	return s != nil && s.state == evFired
+}
+
+// EventCancelled reports whether ref's event was cancelled before
+// firing. An event that ran is fired, never cancelled — Cancel after
+// the fact is a no-op. Exact until the slot is recycled.
+func (c *Clock) EventCancelled(ref EventRef) bool {
+	s := c.slot(ref)
+	return s != nil && s.state == evCancelled
+}
+
+// alloc takes a slot from the free list (or grows the slab), stamps a
+// fresh generation, and returns its index.
+func (c *Clock) alloc() int32 {
+	var idx int32
+	if c.freeHead >= 0 {
+		idx = c.freeHead
+		c.freeHead = c.slots[idx].nextFree
+	} else {
+		idx = int32(len(c.slots))
+		c.slots = append(c.slots, eventSlot{})
+	}
+	c.slots[idx].gen++
+	return idx
+}
+
+// release pushes a terminal slot onto the free list. Its gen, state,
+// fn and label are retained so outstanding refs keep resolving until
+// the slot is recycled.
+func (c *Clock) release(idx int32) {
+	c.slots[idx].nextFree = c.freeHead
+	c.freeHead = idx
 }
 
 // Schedule registers fn to run at absolute virtual time at.
@@ -72,7 +158,7 @@ func (c *Clock) Pending() int {
 // logic error in a simulated component, and silently clamping would
 // hide causality bugs. Scheduling exactly at Now is allowed and runs
 // after all currently queued events at Now with smaller sequence.
-func (c *Clock) Schedule(at Time, label string, fn func()) *Event {
+func (c *Clock) Schedule(at Time, label string, fn func()) EventRef {
 	if at < c.now {
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", label, at, c.now))
 	}
@@ -80,13 +166,21 @@ func (c *Clock) Schedule(at Time, label string, fn func()) *Event {
 		panic(fmt.Sprintf("sim: schedule %q at non-finite time %v", label, at))
 	}
 	c.seq++
-	e := &Event{at: at, seq: c.seq, fn: fn, label: label}
-	heap.Push(&c.queue, e)
-	return e
+	idx := c.alloc()
+	s := &c.slots[idx]
+	s.at = at
+	s.seq = c.seq
+	s.fn = fn
+	s.label = label
+	s.state = evPending
+	s.heapIdx = int32(len(c.heap))
+	c.heap = append(c.heap, idx)
+	c.siftUp(len(c.heap) - 1)
+	return makeRef(s.gen, idx)
 }
 
 // After registers fn to run d seconds from now. Negative d panics.
-func (c *Clock) After(d Time, label string, fn func()) *Event {
+func (c *Clock) After(d Time, label string, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
 	}
@@ -94,47 +188,71 @@ func (c *Clock) After(d Time, label string, fn func()) *Event {
 }
 
 // Cancel removes an event from the queue without firing it. Cancelling
-// an already-fired or already-cancelled event is a no-op, which lets
-// callers cancel unconditionally when tearing state down.
-func (c *Clock) Cancel(e *Event) {
-	if e == nil || e.cancel || e.index < 0 {
-		if e != nil {
-			e.cancel = true
-		}
+// a zero ref, an already-cancelled event, an event that already fired,
+// or a ref whose slot has been recycled is a no-op, which lets callers
+// cancel unconditionally when tearing state down.
+func (c *Clock) Cancel(ref EventRef) {
+	s := c.slot(ref)
+	if s == nil || s.state != evPending {
 		return
 	}
-	e.cancel = true
-	heap.Remove(&c.queue, e.index)
-	e.index = -1
+	c.heapRemove(int(s.heapIdx))
+	s.state = evCancelled
+	s.heapIdx = -1
+	c.release(int32(uint32(ref)) - 1)
 }
 
-// Reschedule moves a pending event to a new absolute time, preserving
-// its callback. If the event already fired or was cancelled, a fresh
-// event is scheduled instead. It returns the live event.
-func (c *Clock) Reschedule(e *Event, at Time) *Event {
-	fn, label := e.fn, e.label
-	c.Cancel(e)
-	return c.Schedule(at, label, fn)
+// Reschedule moves a pending event to a new absolute time by sifting
+// it in place — no cancel/reallocate round trip. The event takes a
+// fresh sequence number, so among events at the same instant it fires
+// as if newly scheduled (exactly the old cancel+schedule semantics),
+// and the same ref stays valid. If the event already fired or was
+// cancelled (slot not yet recycled), its retained callback is
+// scheduled as a fresh event and the new ref is returned. Rescheduling
+// a zero ref or one whose slot was recycled panics: the callback is
+// gone, so the caller's bookkeeping is broken.
+func (c *Clock) Reschedule(ref EventRef, at Time) EventRef {
+	s := c.slot(ref)
+	if s == nil {
+		panic(fmt.Sprintf("sim: Reschedule of invalid or recycled EventRef %#x", int64(ref)))
+	}
+	if s.state != evPending {
+		fn, label := s.fn, s.label // copy out: Schedule may recycle this very slot
+		return c.Schedule(at, label, fn)
+	}
+	if at < c.now {
+		panic(fmt.Sprintf("sim: reschedule %q at %v before now %v", s.label, at, c.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: reschedule %q at non-finite time %v", s.label, at))
+	}
+	c.seq++
+	s.at = at
+	s.seq = c.seq
+	c.heapFix(int(s.heapIdx))
+	return ref
 }
 
 // Step fires the single earliest pending event. It returns false when
 // the queue is empty.
 func (c *Clock) Step() bool {
-	for c.queue.Len() > 0 {
-		e := heap.Pop(&c.queue).(*Event)
-		e.index = -1
-		if e.cancel {
-			continue
-		}
-		if e.at < c.now {
-			panic("sim: event queue time went backwards")
-		}
-		c.now = e.at
-		c.fired++
-		e.fn()
-		return true
+	if len(c.heap) == 0 {
+		return false
 	}
-	return false
+	idx := c.heap[0]
+	s := &c.slots[idx]
+	if s.at < c.now {
+		panic("sim: event queue time went backwards")
+	}
+	c.now = s.at
+	fn := s.fn // copy out before release: fn may recycle the slot
+	c.heapPop()
+	s.state = evFired
+	s.heapIdx = -1
+	c.release(idx)
+	c.fired++
+	fn()
+	return true
 }
 
 // Run fires events until the queue drains or until the next event would
@@ -142,14 +260,7 @@ func (c *Clock) Step() bool {
 // math.Inf(1) runs to quiescence.
 func (c *Clock) Run(limit Time) uint64 {
 	start := c.fired
-	for c.queue.Len() > 0 {
-		next := c.peek()
-		if next == nil {
-			break
-		}
-		if next.at > limit {
-			break
-		}
+	for len(c.heap) > 0 && c.slots[c.heap[0]].at <= limit {
 		c.Step()
 	}
 	return c.fired - start
@@ -173,54 +284,111 @@ func (c *Clock) RunUntilIdle(maxEvents uint64) uint64 {
 // pending before now+d, because skipping them would corrupt causality.
 func (c *Clock) Advance(d Time) {
 	target := c.now + d
-	if next := c.peek(); next != nil && next.at <= target {
-		panic(fmt.Sprintf("sim: Advance(%v) would skip event %q at %v", d, next.label, next.at))
+	if len(c.heap) > 0 {
+		if s := &c.slots[c.heap[0]]; s.at <= target {
+			panic(fmt.Sprintf("sim: Advance(%v) would skip event %q at %v", d, s.label, s.at))
+		}
 	}
 	c.now = target
 }
 
-func (c *Clock) peek() *Event {
-	for c.queue.Len() > 0 {
-		e := c.queue[0]
-		if e.cancel {
-			heap.Pop(&c.queue)
-			continue
+// less orders heap entries by (time, seq). The sequence number is
+// unique per event, so the order is total — heap arity and sift order
+// cannot change the firing sequence.
+func (c *Clock) less(a, b int32) bool {
+	sa, sb := &c.slots[a], &c.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp restores the heap property upward from i, hole-style: the
+// moving entry is held out and written once at its final position.
+func (c *Clock) siftUp(i int) {
+	h := c.heap
+	cur := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !c.less(cur, h[p]) {
+			break
 		}
-		return e
+		h[i] = h[p]
+		c.slots[h[i]].heapIdx = int32(i)
+		i = p
 	}
-	return nil
+	h[i] = cur
+	c.slots[cur].heapIdx = int32(i)
 }
 
-// eventHeap orders by (time, seq). seq breaks ties deterministically in
-// scheduling order.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// siftDown restores the heap property downward from i.
+func (c *Clock) siftDown(i int) {
+	h := c.heap
+	n := len(h)
+	cur := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for k := first + 1; k < end; k++ {
+			if c.less(h[k], h[best]) {
+				best = k
+			}
+		}
+		if !c.less(h[best], cur) {
+			break
+		}
+		h[i] = h[best]
+		c.slots[h[i]].heapIdx = int32(i)
+		i = best
 	}
-	return h[i].seq < h[j].seq
+	h[i] = cur
+	c.slots[cur].heapIdx = int32(i)
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// heapFix re-establishes the heap property at i after its key changed
+// in either direction. If siftDown moved a former descendant into i,
+// that entry already satisfies the upward property (its relation to
+// i's ancestors predates the change), so siftUp is needed only when
+// the entry at i stayed put.
+func (c *Clock) heapFix(i int) {
+	cur := c.heap[i]
+	c.siftDown(i)
+	if c.heap[i] == cur {
+		c.siftUp(i)
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+// heapRemove deletes the entry at heap position i.
+func (c *Clock) heapRemove(i int) {
+	last := len(c.heap) - 1
+	if i != last {
+		moved := c.heap[last]
+		c.heap[i] = moved
+		c.slots[moved].heapIdx = int32(i)
+		c.heap = c.heap[:last]
+		c.heapFix(i)
+	} else {
+		c.heap = c.heap[:last]
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// heapPop removes the root (the earliest pending event).
+func (c *Clock) heapPop() {
+	last := len(c.heap) - 1
+	if last > 0 {
+		moved := c.heap[last]
+		c.heap[0] = moved
+		c.slots[moved].heapIdx = 0
+		c.heap = c.heap[:last]
+		c.siftDown(0)
+	} else {
+		c.heap = c.heap[:last]
+	}
 }

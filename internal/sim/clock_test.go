@@ -85,12 +85,12 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if !c.EventCancelled(e) {
+		t.Fatal("EventCancelled() = false after Cancel")
 	}
-	// Cancelling twice must be a no-op.
+	// Cancelling twice must be a no-op, as must the zero ref.
 	c.Cancel(e)
-	c.Cancel(nil)
+	c.Cancel(0)
 }
 
 func TestCancelOneOfMany(t *testing.T) {
@@ -219,14 +219,14 @@ func TestQuickCancelSubset(t *testing.T) {
 	f := func(raw []uint16, mask uint32) bool {
 		c := NewClock()
 		fired := 0
-		var events []*Event
+		var events []EventRef
 		for _, r := range raw {
 			events = append(events, c.Schedule(Time(r), "q", func() { fired++ }))
 		}
 		cancelled := 0
 		for i, e := range events {
 			if mask&(1<<(uint(i)%32)) != 0 {
-				if !e.Cancelled() {
+				if !c.EventCancelled(e) {
 					cancelled++
 				}
 				c.Cancel(e)
