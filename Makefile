@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race invariants bench-smoke bench-fluid bench-alloc trace-smoke clean
+.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc trace-smoke clean
 
 all: check
 
@@ -30,6 +30,13 @@ race:
 # covers code paths that shell out or rebuild clusters outside tests.
 invariants:
 	SMR_INVARIANTS=1 $(GO) test ./...
+
+# cover measures per-package statement coverage (-short: the chaos
+# soak runs its reduced seed set) and gates it against the checked-in
+# floors in COVERAGE.floors via cmd/covercheck.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covercheck -profile cover.out -floors COVERAGE.floors
 
 # bench-smoke proves the benchmark harness still runs end to end
 # (single iteration of a mid-weight figure), not a measurement.
@@ -60,4 +67,4 @@ trace-smoke:
 
 clean:
 	rm -f smapreduce.test mr.test netsim.test
-	rm -f trace-smoke.json trace-smoke.csv
+	rm -f trace-smoke.json trace-smoke.csv cover.out

@@ -119,7 +119,7 @@ func BenchmarkSingleJob(b *testing.B) {
 	}
 }
 
-// Ablation and extension benches (DESIGN.md §6).
+// Ablation and extension benches (DESIGN.md §7).
 
 func BenchmarkAblationBounds(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,177 @@
+// Command covercheck enforces per-package coverage floors: it reads a
+// Go coverage profile (go test -coverprofile) and a floors file, prints
+// a per-package statement-coverage table, and exits non-zero when any
+// package with a declared floor falls below it or is missing from the
+// profile entirely.
+//
+// Usage:
+//
+//	go test -short -coverprofile=cover.out ./...
+//	covercheck -profile cover.out -floors COVERAGE.floors
+//
+// Floors file format: one `import/path minimum-percent` pair per line,
+// '#' starts a comment. Only listed packages are gated; the table shows
+// everything in the profile.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type pkgCover struct {
+	statements int
+	covered    int
+}
+
+func (p pkgCover) percent() float64 {
+	if p.statements == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.statements)
+}
+
+func main() {
+	profilePath := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	floorsPath := flag.String("floors", "COVERAGE.floors", "per-package floors file")
+	flag.Parse()
+
+	floors, order, err := loadFloors(*floorsPath)
+	if err != nil {
+		fatal(err)
+	}
+	cover, err := loadProfile(*profilePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs := make([]string, 0, len(cover))
+	for p := range cover {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		floor := ""
+		if f, ok := floors[p]; ok {
+			floor = fmt.Sprintf("(floor %.0f%%)", f)
+		}
+		fmt.Printf("%6.1f%%  %-40s %s\n", cover[p].percent(), p, floor)
+	}
+
+	failed := false
+	for _, p := range order {
+		c, ok := cover[p]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "covercheck: package %s has a floor but no coverage data\n", p)
+			failed = true
+			continue
+		}
+		if got, want := c.percent(), floors[p]; got < want {
+			fmt.Fprintf(os.Stderr, "covercheck: package %s at %.1f%%, below floor %.0f%%\n", p, got, want)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadFloors reads the floors file, returning the floor map and the
+// declaration order (for stable failure reporting).
+func loadFloors(name string) (map[string]float64, []string, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	floors := make(map[string]float64)
+	var order []string
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("%s:%d: want 'package floor', got %q", name, line, text)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || v < 0 || v > 100 {
+			return nil, nil, fmt.Errorf("%s:%d: bad floor %q", name, line, fields[1])
+		}
+		if _, dup := floors[fields[0]]; dup {
+			return nil, nil, fmt.Errorf("%s:%d: duplicate package %s", name, line, fields[0])
+		}
+		floors[fields[0]] = v
+		order = append(order, fields[0])
+	}
+	return floors, order, sc.Err()
+}
+
+// loadProfile aggregates a coverage profile into per-package statement
+// counts. Profile lines read `file.go:sl.sc,el.ec numStmts hitCount`.
+func loadProfile(name string) (map[string]pkgCover, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cover := make(map[string]pkgCover)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if line == 1 && strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed block %q", name, line, text)
+		}
+		colon := strings.LastIndexByte(fields[0], ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed location %q", name, line, fields[0])
+		}
+		pkg := path.Dir(fields[0][:colon])
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || stmts < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed counts %q", name, line, text)
+		}
+		c := cover[pkg]
+		c.statements += stmts
+		if count > 0 {
+			c.covered += stmts
+		}
+		cover[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cover) == 0 {
+		return nil, fmt.Errorf("%s: empty coverage profile", name)
+	}
+	return cover, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covercheck:", err)
+	os.Exit(1)
+}

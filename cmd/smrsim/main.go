@@ -8,6 +8,8 @@
 //	smrsim -engine hadoopv1 -bench grep -workers 16 -map-slots 3
 //	smrsim -bench inverted-index -jobs 4 -stagger 5 -tracelog
 //	smrsim -bench grep -speculate -slow-nodes 4 -fail-at 30 -fail-id 2
+//	smrsim -bench terasort -chaos 'crash tt3 @20; rejoin tt3 @60' -events run.jsonl
+//	smrsim -bench terasort -chaos schedule.chaos
 //	smrsim -bench terasort -trace run.json -tracev 1 -explain
 //	smrsim -bench terasort -serve :8080 -telemetry run.csv
 package main
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"smapreduce/internal/chaos"
 	"smapreduce/internal/cli"
 	"smapreduce/internal/core"
 	"smapreduce/internal/experiments"
@@ -48,6 +51,7 @@ func main() {
 		speculate   = flag.Bool("speculate", false, "enable speculative map execution")
 		failAt      = flag.Float64("fail-at", 0, "kill tracker -fail-id at this virtual second (0 = no failure)")
 		failID      = flag.Int("fail-id", 0, "tracker to kill when -fail-at is set")
+		chaosSpec   = flag.String("chaos", "", "fault schedule: a file path or an inline spec, e.g. 'crash tt3 @20; rejoin tt3 @60' (kinds: crash, rejoin, hbloss, slow, link)")
 		slowNodes   = flag.Int("slow-nodes", 0, "make the last N nodes half-speed (heterogeneous cluster)")
 		eventsPath  = flag.String("events", "", "write the structured runtime event log (JSONL) to this file")
 		telemPath   = flag.String("telemetry", "", "write the sampled telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline")
@@ -109,6 +113,23 @@ func main() {
 	}
 	if *failAt > 0 {
 		c.ScheduleFailure(*failID, *failAt)
+	}
+	if *chaosSpec != "" {
+		text := *chaosSpec
+		if data, err := os.ReadFile(*chaosSpec); err == nil {
+			text = string(data) // a readable path wins; otherwise treat the value as inline
+		}
+		sched, err := chaos.ParseSchedule(text)
+		if err != nil {
+			fatal(err)
+		}
+		if len(sched.Faults) == 0 {
+			fatal(fmt.Errorf("-chaos %q: schedule contains no faults", *chaosSpec))
+		}
+		if err := sched.Apply(c); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smrsim: armed %d chaos faults\n%s", len(sched.Faults), sched)
 	}
 	var log *mr.EventLog
 	if *eventsPath != "" {

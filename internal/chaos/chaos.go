@@ -1,0 +1,405 @@
+// Package chaos is the deterministic fault-injection subsystem: it
+// compiles a Schedule of typed faults — tracker crash and rejoin,
+// transient heartbeat loss (with blacklisting and probation on the mr
+// side), slow-node service degradation, and link/partition faults —
+// onto the simulation clock of an mr.Cluster.
+//
+// Schedules are reproducible artifacts: a plain-text format
+// (ParseSchedule / Schedule.String round-trip losslessly) feeds the
+// `smrsim -chaos` flag, and Generate derives a randomized but fully
+// deterministic schedule from a seed for the property-based soak
+// suite. Every fault application emits structured events, trace
+// instants and telemetry through the cluster's existing observability
+// layers; a fault that cannot be applied when its event fires (e.g.
+// crashing an already-dead tracker) becomes an erroring event-log
+// instant, never a panic.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"smapreduce/internal/mr"
+	"smapreduce/internal/sim"
+)
+
+// Kind enumerates the fault taxonomy.
+type Kind int
+
+const (
+	// Crash kills a tracker permanently-until-rejoin: running tasks
+	// abort, committed outputs on its disk are lost (mr.FailTracker).
+	Crash Kind = iota
+	// Rejoin re-registers a crashed tracker with an empty disk, fresh
+	// rate windows and re-seeded slot targets (mr.RecoverTracker).
+	Rejoin
+	// HBLoss silences a tracker's heartbeats for Duration seconds while
+	// its tasks keep running; prolonged silence blacklists the node and
+	// recovery serves a backed-off probation.
+	HBLoss
+	// Slow scales a node's CPU and disk service rates by
+	// CPUScale/DiskScale in (0,1] for Duration seconds.
+	Slow
+	// Link scales a node's fabric access links by EgressScale and
+	// IngressScale in [0,1] for Duration seconds; 0 severs a direction
+	// (flows stall and resume on restore).
+	Link
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Rejoin:
+		return "rejoin"
+	case HBLoss:
+		return "hbloss"
+	case Slow:
+		return "slow"
+	case Link:
+		return "link"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one scheduled fault. Target is a tracker id for Crash,
+// Rejoin and HBLoss, a node id for Slow and Link (trackers and nodes
+// are one-to-one in this runtime, but the distinction matters: tracker
+// faults hit the daemon, node faults hit the hardware under it).
+type Fault struct {
+	Kind     Kind
+	Target   int
+	At       float64 // virtual time the fault fires
+	Duration float64 // HBLoss, Slow, Link: length of the incident
+
+	CPUScale, DiskScale       float64 // Slow
+	EgressScale, IngressScale float64 // Link
+}
+
+// num renders a float the way the text format expects: shortest
+// decimal that re-parses to the same value, so String/Parse round-trip
+// at full precision.
+func num(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// String renders the fault in the schedule text format.
+func (f Fault) String() string {
+	switch f.Kind {
+	case Crash, Rejoin:
+		return fmt.Sprintf("%s tt%d @%s", f.Kind, f.Target, num(f.At))
+	case HBLoss:
+		return fmt.Sprintf("hbloss tt%d @%s for %s", f.Target, num(f.At), num(f.Duration))
+	case Slow:
+		return fmt.Sprintf("slow node%d @%s for %s cpu %s disk %s",
+			f.Target, num(f.At), num(f.Duration), num(f.CPUScale), num(f.DiskScale))
+	case Link:
+		return fmt.Sprintf("link node%d @%s for %s egress %s ingress %s",
+			f.Target, num(f.At), num(f.Duration), num(f.EgressScale), num(f.IngressScale))
+	}
+	return fmt.Sprintf("?%d", int(f.Kind))
+}
+
+// Schedule is an ordered list of faults. Order matters only for faults
+// sharing the same At (they apply in list order); otherwise the clock
+// orders by time.
+type Schedule struct {
+	Faults []Fault
+}
+
+// String renders the schedule in the text format ParseSchedule reads:
+// one fault per line, trailing newline. ParseSchedule(s.String())
+// reproduces s exactly.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for _, f := range s.Faults {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseSchedule reads the plain-text schedule format: one fault per
+// line (or semicolon-separated), '#' starts a comment, blank lines are
+// skipped.
+//
+//	crash tt3 @20
+//	rejoin tt3 @60
+//	hbloss tt2 @10 for 6
+//	slow node4 @15 for 30 cpu 0.5 disk 0.5
+//	link node1 @25 for 10 egress 0.2 ingress 0
+//
+// Times are non-negative seconds of virtual time, durations positive;
+// slow scales lie in (0,1], link scales in [0,1] (0 severs the
+// direction). Parsing is purely syntactic — targets are bounds-checked
+// against a concrete cluster by Validate/Apply.
+func ParseSchedule(text string) (Schedule, error) {
+	var s Schedule
+	lineNo := 0
+	for _, rawLine := range strings.Split(text, "\n") {
+		lineNo++
+		// A comment runs to end of line, so strip it before splitting
+		// on semicolons — a ';' inside a comment is commentary too.
+		if i := strings.IndexByte(rawLine, '#'); i >= 0 {
+			rawLine = rawLine[:i]
+		}
+		for _, raw := range strings.Split(rawLine, ";") {
+			fields := strings.Fields(raw)
+			if len(fields) == 0 {
+				continue
+			}
+			f, err := parseFault(fields, lineNo)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Faults = append(s.Faults, f)
+		}
+	}
+	return s, nil
+}
+
+func parseFault(fields []string, line int) (Fault, error) {
+	var f Fault
+	targetPrefix := "tt"
+	switch fields[0] {
+	case "crash":
+		f.Kind = Crash
+	case "rejoin":
+		f.Kind = Rejoin
+	case "hbloss":
+		f.Kind = HBLoss
+	case "slow":
+		f.Kind = Slow
+		targetPrefix = "node"
+	case "link":
+		f.Kind = Link
+		targetPrefix = "node"
+	default:
+		return f, fmt.Errorf("chaos: line %d: unknown fault kind %q", line, fields[0])
+	}
+
+	want := map[Kind]int{Crash: 3, Rejoin: 3, HBLoss: 5, Slow: 9, Link: 9}[f.Kind]
+	if len(fields) != want {
+		return f, fmt.Errorf("chaos: line %d: %s takes %d tokens, got %d", line, f.Kind, want, len(fields))
+	}
+
+	rest, ok := strings.CutPrefix(fields[1], targetPrefix)
+	if !ok {
+		return f, fmt.Errorf("chaos: line %d: %s target must be %s<N>, got %q", line, f.Kind, targetPrefix, fields[1])
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil || id < 0 || rest[0] == '+' {
+		return f, fmt.Errorf("chaos: line %d: bad %s target %q", line, f.Kind, fields[1])
+	}
+	f.Target = id
+
+	at, ok := strings.CutPrefix(fields[2], "@")
+	if !ok {
+		return f, fmt.Errorf("chaos: line %d: expected @<time>, got %q", line, fields[2])
+	}
+	if f.At, err = parseNum(at, "time", line); err != nil {
+		return f, err
+	}
+	if f.At < 0 {
+		return f, fmt.Errorf("chaos: line %d: time %v must be >= 0", line, f.At)
+	}
+	if f.Kind == Crash || f.Kind == Rejoin {
+		return f, nil
+	}
+
+	if fields[3] != "for" {
+		return f, fmt.Errorf("chaos: line %d: expected 'for', got %q", line, fields[3])
+	}
+	if f.Duration, err = parseNum(fields[4], "duration", line); err != nil {
+		return f, err
+	}
+	if f.Duration <= 0 {
+		return f, fmt.Errorf("chaos: line %d: duration %v must be positive", line, f.Duration)
+	}
+
+	switch f.Kind {
+	case HBLoss:
+		return f, nil
+	case Slow:
+		if f.CPUScale, err = parseKeyed(fields[5], fields[6], "cpu", line); err != nil {
+			return f, err
+		}
+		if f.DiskScale, err = parseKeyed(fields[7], fields[8], "disk", line); err != nil {
+			return f, err
+		}
+		if f.CPUScale <= 0 || f.CPUScale > 1 || f.DiskScale <= 0 || f.DiskScale > 1 {
+			return f, fmt.Errorf("chaos: line %d: slow scales (%v, %v) must be in (0,1]", line, f.CPUScale, f.DiskScale)
+		}
+	case Link:
+		if f.EgressScale, err = parseKeyed(fields[5], fields[6], "egress", line); err != nil {
+			return f, err
+		}
+		if f.IngressScale, err = parseKeyed(fields[7], fields[8], "ingress", line); err != nil {
+			return f, err
+		}
+		if f.EgressScale < 0 || f.EgressScale > 1 || f.IngressScale < 0 || f.IngressScale > 1 {
+			return f, fmt.Errorf("chaos: line %d: link scales (%v, %v) must be in [0,1]", line, f.EgressScale, f.IngressScale)
+		}
+	}
+	return f, nil
+}
+
+func parseKeyed(key, val, want string, line int) (float64, error) {
+	if key != want {
+		return 0, fmt.Errorf("chaos: line %d: expected %q, got %q", line, want, key)
+	}
+	return parseNum(val, want, line)
+}
+
+func parseNum(tok, what string, line int) (float64, error) {
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("chaos: line %d: bad %s %q", line, what, tok)
+	}
+	return v, nil
+}
+
+// Validate checks the schedule against a cluster of the given worker
+// count: targets in range, parameters in range, and crash/rejoin
+// pairing consistent per tracker when replayed in time order (a rejoin
+// needs a preceding crash; a crash needs the tracker alive). It does
+// not check cross-fault interactions the runtime tolerates on its own
+// (e.g. a heartbeat loss landing on a crashed tracker degrades to an
+// event-log fault error at run time).
+func (s Schedule) Validate(workers int) error {
+	for i, f := range s.Faults {
+		if f.Target < 0 || f.Target >= workers {
+			return fmt.Errorf("chaos: fault %d (%s): target %d outside [0,%d)", i, f.Kind, f.Target, workers)
+		}
+		if f.At < 0 || math.IsNaN(f.At) || math.IsInf(f.At, 0) {
+			return fmt.Errorf("chaos: fault %d (%s): time %v invalid", i, f.Kind, f.At)
+		}
+		switch f.Kind {
+		case Crash, Rejoin:
+		case HBLoss:
+			if f.Duration <= 0 || math.IsInf(f.Duration, 0) || math.IsNaN(f.Duration) {
+				return fmt.Errorf("chaos: fault %d (hbloss): duration %v must be positive", i, f.Duration)
+			}
+		case Slow:
+			if f.Duration <= 0 || math.IsInf(f.Duration, 0) || math.IsNaN(f.Duration) {
+				return fmt.Errorf("chaos: fault %d (slow): duration %v must be positive", i, f.Duration)
+			}
+			if f.CPUScale <= 0 || f.CPUScale > 1 || f.DiskScale <= 0 || f.DiskScale > 1 {
+				return fmt.Errorf("chaos: fault %d (slow): scales (%v, %v) must be in (0,1]", i, f.CPUScale, f.DiskScale)
+			}
+		case Link:
+			if f.Duration <= 0 || math.IsInf(f.Duration, 0) || math.IsNaN(f.Duration) {
+				return fmt.Errorf("chaos: fault %d (link): duration %v must be positive", i, f.Duration)
+			}
+			if f.EgressScale < 0 || f.EgressScale > 1 || f.IngressScale < 0 || f.IngressScale > 1 {
+				return fmt.Errorf("chaos: fault %d (link): scales (%v, %v) must be in [0,1]", i, f.EgressScale, f.IngressScale)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d: unknown kind %d", i, int(f.Kind))
+		}
+	}
+	// Replay crash/rejoin pairs in time order (stable for equal times,
+	// matching how same-time clock events apply in list order).
+	order := make([]int, 0, len(s.Faults))
+	for i := range s.Faults {
+		if k := s.Faults[i].Kind; k == Crash || k == Rejoin {
+			order = append(order, i)
+		}
+	}
+	for a := 1; a < len(order); a++ { // insertion sort: stable, no deps
+		for b := a; b > 0 && s.Faults[order[b-1]].At > s.Faults[order[b]].At; b-- {
+			order[b-1], order[b] = order[b], order[b-1]
+		}
+	}
+	failed := map[int]bool{}
+	for _, i := range order {
+		f := s.Faults[i]
+		switch f.Kind {
+		case Crash:
+			if failed[f.Target] {
+				return fmt.Errorf("chaos: fault %d: crash of tt%d at %v, already crashed", i, f.Target, f.At)
+			}
+			failed[f.Target] = true
+		case Rejoin:
+			if !failed[f.Target] {
+				return fmt.Errorf("chaos: fault %d: rejoin of tt%d at %v without a preceding crash", i, f.Target, f.At)
+			}
+			failed[f.Target] = false
+		}
+	}
+	return nil
+}
+
+// Apply validates the schedule against c and arms every fault on the
+// cluster's clock. Call before Run.
+func (s Schedule) Apply(c *mr.Cluster) error {
+	if err := s.Validate(c.Config().Workers); err != nil {
+		return err
+	}
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case Crash:
+			c.ScheduleFailure(f.Target, f.At)
+		case Rejoin:
+			c.ScheduleRecovery(f.Target, f.At)
+		case HBLoss:
+			c.ScheduleHeartbeatLoss(f.Target, f.At, f.Duration)
+		case Slow:
+			c.ScheduleNodeDegrade(f.Target, f.At, f.Duration, f.CPUScale, f.DiskScale)
+		case Link:
+			c.ScheduleLinkDegrade(f.Target, f.At, f.Duration, f.EgressScale, f.IngressScale)
+		}
+	}
+	return nil
+}
+
+// Generate derives a random valid schedule from rng, exercising every
+// fault kind: one crash/rejoin pair, one heartbeat loss on a different
+// tracker, one slow node, and one link fault, with times spread over
+// [0, horizon). The same rng state always yields the same schedule.
+//
+// The generator keeps at most one tracker crashed at a time, so with
+// the default DFS replication (3) no input split can lose all its
+// replicas — data-loss scenarios are a deliberate non-goal of the soak
+// (the runtime treats them as fatal).
+//
+// Generated values are rounded to milliseconds/percent so schedules
+// stay readable when embedded in docs or regenerated from their text
+// form; rounding never pushes a duration to zero for horizon >= 1.
+func Generate(rng *sim.Rand, workers int, horizon float64) Schedule {
+	if workers < 4 {
+		panic(fmt.Sprintf("chaos: Generate needs >= 4 workers, got %d", workers))
+	}
+	if horizon < 1 || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		panic(fmt.Sprintf("chaos: Generate horizon %v must be >= 1 and finite", horizon))
+	}
+	r3 := func(v float64) float64 { return math.Round(v*1000) / 1000 }
+	span := func(lo, hi float64) float64 { return r3(horizon * (lo + (hi-lo)*rng.Float64())) }
+	pct := func(lo, hi float64) float64 { return r3(lo + (hi-lo)*rng.Float64()) }
+
+	crashed := rng.Intn(workers)
+	lossy := rng.Intn(workers - 1)
+	if lossy >= crashed {
+		lossy++ // distinct from the crashed tracker, uniform over the rest
+	}
+	crashAt := span(0.05, 0.35)
+	rejoinAt := r3(crashAt + span(0.15, 0.4))
+
+	egress, ingress := pct(0.2, 0.9), pct(0.2, 0.9)
+	switch rng.Intn(4) {
+	case 0:
+		egress = 0 // severed uplink
+	case 1:
+		ingress = 0 // severed downlink
+	}
+
+	return Schedule{Faults: []Fault{
+		{Kind: Crash, Target: crashed, At: crashAt},
+		{Kind: Rejoin, Target: crashed, At: rejoinAt},
+		{Kind: HBLoss, Target: lossy, At: span(0.1, 0.5), Duration: span(0.02, 0.15)},
+		{Kind: Slow, Target: rng.Intn(workers), At: span(0.1, 0.5), Duration: span(0.1, 0.3),
+			CPUScale: pct(0.3, 0.9), DiskScale: pct(0.3, 0.9)},
+		{Kind: Link, Target: rng.Intn(workers), At: span(0.1, 0.5), Duration: span(0.05, 0.2),
+			EgressScale: egress, IngressScale: ingress},
+	}}
+}

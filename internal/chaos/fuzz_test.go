@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSchedule pins the parser's safety contract: arbitrary input
+// never panics, anything accepted re-parses from its canonical String
+// form to the identical schedule, and the canonical form is a fixed
+// point (String of the reparse is byte-identical).
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"crash tt3 @20",
+		"rejoin tt3 @60",
+		"hbloss tt2 @10 for 6",
+		"slow node4 @15 for 30 cpu 0.5 disk 0.5",
+		"link node1 @25 for 10 egress 0.2 ingress 0",
+		"crash tt0 @1; rejoin tt0 @2\n# comment\n\nhbloss tt1 @0.5 for 1e2",
+		"slow node0 @0 for 0.001 cpu 1 disk 1",
+		"link node7 @1e3 for 2.5e-2 egress 1 ingress 0.333",
+		"crash tt1 @Inf",
+		"hbloss tt1 @5 for NaN",
+		"crash tt99999999999999999999 @5",
+		"slow node1 @5 for 2 cpu 0x1p-2 disk 1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		canonical := s.String()
+		again, err := ParseSchedule(canonical)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput %q\ncanonical %q", err, text, canonical)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round trip changed the schedule\ninput %q\nfirst  %+v\nsecond %+v", text, s, again)
+		}
+		if stable := again.String(); stable != canonical {
+			t.Fatalf("String not a fixed point\ncanonical %q\nrestring  %q", canonical, stable)
+		}
+	})
+}

@@ -201,6 +201,24 @@ type rateSample struct {
 // windowRates differences the cumulative counters over the configured
 // window. Returns zeros until two samples exist.
 func (m *SlotManager) windowRates(s mr.Stats) (inRate, outRate, shufRate float64) {
+	// Fault discontinuity: a tracker crash discards in-flight work and
+	// re-queues committed maps, so the cumulative counters can regress
+	// below earlier samples. Differencing across the drop would yield
+	// negative rates, poisoning the balance factor and the thrashing
+	// ledger with phantom slowdowns and making the targets oscillate.
+	// Restart the window at the current sample, forget the suspicion
+	// state (rates under recovery say nothing about slot counts), and
+	// reset the stabilize timer so the estimator settles before the
+	// next judgement.
+	if n := len(m.samples); n > 0 {
+		last := m.samples[n-1]
+		if s.MapInputProcessedMB < last.inMB || s.MapOutputProducedMB < last.outMB ||
+			s.ShuffleMovedMB < last.shufMB {
+			m.samples = m.samples[:0]
+			m.suspects = 0
+			m.lastChangeAt = s.Now
+		}
+	}
 	m.samples = append(m.samples, rateSample{
 		t: s.Now, inMB: s.MapInputProcessedMB, outMB: s.MapOutputProducedMB, shufMB: s.ShuffleMovedMB,
 	})
@@ -227,6 +245,12 @@ func (m *SlotManager) windowRates(s mr.Stats) (inRate, outRate, shufRate float64
 	inRate = (s.MapInputProcessedMB - old.inMB) / dt
 	outRate = (s.MapOutputProducedMB - old.outMB) / dt
 	shufRate = (s.ShuffleMovedMB - old.shufMB) / dt
+	// The regression guard above re-anchors on counter drops, so rates
+	// here are non-negative up to float noise; clamp that noise away
+	// rather than letting a -1e-16 rate flip a comparison downstream.
+	inRate = math.Max(inRate, 0)
+	outRate = math.Max(outRate, 0)
+	shufRate = math.Max(shufRate, 0)
 	m.lastWindow.inRate, m.lastWindow.outRate, m.lastWindow.shufRate = inRate, outRate, shufRate
 	return inRate, outRate, shufRate
 }

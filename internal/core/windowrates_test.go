@@ -76,3 +76,34 @@ func TestDecisionsReturnsCopy(t *testing.T) {
 		t.Fatalf("snapshot changed under later appends: %+v", snap)
 	}
 }
+
+// TestWindowRatesCounterRegressionResets pins the fault-discontinuity
+// guard: a tracker crash unwinds committed work, so cumulative
+// counters can drop below earlier samples. The window must restart at
+// the current sample — never emit a negative rate — and resume clean
+// differencing from the new baseline on the next tick.
+func TestWindowRatesCounterRegressionResets(t *testing.T) {
+	m := MustNewSlotManager(SlotManagerConfig{})
+	for now := 0.0; now <= 50; now += 5 {
+		m.windowRates(counterStats(now, 20*now))
+	}
+	// Crash at t=55: 300 MB of committed map output is requeued.
+	in, out, shuf := m.windowRates(counterStats(55, 20*50-300))
+	if in < 0 || out < 0 || shuf < 0 {
+		t.Fatalf("negative rates after counter regression: %v %v %v", in, out, shuf)
+	}
+	if len(m.samples) != 1 {
+		t.Fatalf("window not re-anchored after regression: %d samples", len(m.samples))
+	}
+	if m.suspects != 0 {
+		t.Fatalf("suspicion state survived the reset: %d", m.suspects)
+	}
+	if m.lastChangeAt != 55 {
+		t.Fatalf("stabilize timer not re-based: lastChangeAt = %v, want 55", m.lastChangeAt)
+	}
+	// Recovery proceeds at 20 MB/s from the new baseline.
+	in, _, _ = m.windowRates(counterStats(60, 20*50-300+100))
+	if math.Abs(in-20) > 1e-9 {
+		t.Fatalf("post-reset rate = %v, want 20 MB/s", in)
+	}
+}

@@ -1,5 +1,5 @@
 // Ablations beyond the paper's Fig. 7, covering the design choices
-// DESIGN.md §6 calls out: the balance-factor bounds, the slow-start
+// DESIGN.md §7 calls out: the balance-factor bounds, the slow-start
 // threshold, the suspected-thrashing confirmation count, lazy versus
 // eager slot changing, and the tail-stretch reduce boost. Each returns
 // typed rows plus a rendered table and has a matching testing.B

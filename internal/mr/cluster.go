@@ -172,6 +172,35 @@ func (c *Cluster) EnableTelemetry(col *telemetry.Collector) {
 		return s
 	})
 	col.Register("net/total-MBps", c.fabric.TotalRate)
+	// Fault-model gauges (internal/chaos): how much of the cluster is
+	// currently dead, silenced or running degraded.
+	col.Register("cluster/failed-trackers", func() float64 {
+		n := 0
+		for _, tt := range c.trackers {
+			if tt.failed {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	col.Register("cluster/unschedulable-trackers", func() float64 {
+		n := 0
+		for _, tt := range c.trackers {
+			if !tt.schedulable() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	col.Register("cluster/degraded-nodes", func() float64 {
+		n := 0
+		for _, node := range c.nodes {
+			if cpu, disk := node.ServiceScale(); cpu != 1 || disk != 1 {
+				n++
+			}
+		}
+		return float64(n)
+	})
 	for i, tt := range c.trackers {
 		tt := tt
 		col.Register(fmt.Sprintf("tt%d/map-slots", i), func() float64 { return float64(tt.mapTarget) })
@@ -192,6 +221,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	net := cfg.Net
 	net.Nodes = cfg.Workers
+	// Heartbeat-loss handling defaults scale with the heartbeat period
+	// so custom configs predating the fault model keep working.
+	if cfg.BlacklistTimeout == 0 {
+		cfg.BlacklistTimeout = 3 * cfg.HeartbeatPeriod
+	}
+	if cfg.ProbationPeriod == 0 {
+		cfg.ProbationPeriod = 5 * cfg.HeartbeatPeriod
+	}
 	rng := sim.NewRand(cfg.Seed)
 	c := &Cluster{
 		cfg:     cfg,
@@ -367,7 +404,9 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 	for i, tt := range c.trackers {
 		offset := c.cfg.HeartbeatPeriod * float64(i) / float64(len(c.trackers))
 		tt.lastHB = 0
-		c.clock.Schedule(offset, fmt.Sprintf("hb0 tt%d", i), tt.hbFn)
+		// Keep the ref: a fault injected before the first beat (crash,
+		// heartbeat loss) must be able to cancel the pending chain.
+		tt.hbEvent = c.clock.Schedule(offset, fmt.Sprintf("hb0 tt%d", i), tt.hbFn)
 	}
 	c.scheduleSampler()
 	if c.controller != nil {

@@ -104,6 +104,15 @@ type Config struct {
 	SlotChangePressure float64
 	StabilizeTime      float64
 
+	// Heartbeat-loss handling (fault injection): a tracker silent for
+	// BlacklistTimeout seconds is blacklisted (no new work). When its
+	// heartbeats resume it serves a probation of ProbationPeriod
+	// seconds, doubled for every blacklisting incident it has accrued,
+	// before receiving work again. Zero values take defaults derived
+	// from HeartbeatPeriod in NewCluster.
+	BlacklistTimeout float64
+	ProbationPeriod  float64
+
 	// Policy selection.
 	Policy Policy
 	// Scheduler orders jobs during assignment (default FIFO).
@@ -180,6 +189,8 @@ func DefaultConfig() Config {
 		MaxReduceSlots:        6,
 		HeartbeatPeriod:       1.0,
 		SampleInterval:        2.0,
+		BlacklistTimeout:      3.0,
+		ProbationPeriod:       5.0,
 		ReduceSlowstart:       0.05,
 		Fetchers:              5,
 		PerFetchMBps:          3.5,
@@ -216,6 +227,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mr: HeartbeatPeriod = %v, must be positive", c.HeartbeatPeriod)
 	case c.SampleInterval <= 0:
 		return fmt.Errorf("mr: SampleInterval = %v, must be positive", c.SampleInterval)
+	case c.BlacklistTimeout < 0:
+		return fmt.Errorf("mr: BlacklistTimeout = %v, must be >= 0", c.BlacklistTimeout)
+	case c.ProbationPeriod < 0:
+		return fmt.Errorf("mr: ProbationPeriod = %v, must be >= 0", c.ProbationPeriod)
 	case c.ReduceSlowstart < 0 || c.ReduceSlowstart > 1:
 		return fmt.Errorf("mr: ReduceSlowstart = %v, must be in [0,1]", c.ReduceSlowstart)
 	case c.Fetchers <= 0:

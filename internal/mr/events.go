@@ -23,6 +23,21 @@ const (
 	EvSpeculative  EventKind = "speculative-launch"
 	EvRequeued     EventKind = "task-requeued"
 	EvTrackerDrain EventKind = "tracker-draining"
+
+	// Fault-injection vocabulary (internal/chaos). Degradations carry
+	// their parameters in Detail; EvFaultError records a fault that
+	// could not be applied (e.g. crashing an already-dead tracker).
+	EvTrackerRejoin      EventKind = "tracker-rejoined"
+	EvTrackerHBLost      EventKind = "tracker-hb-lost"
+	EvTrackerHBRestored  EventKind = "tracker-hb-restored"
+	EvTrackerBlacklisted EventKind = "tracker-blacklisted"
+	EvTrackerProbation   EventKind = "tracker-probation"
+	EvTrackerCleared     EventKind = "tracker-cleared"
+	EvNodeDegraded       EventKind = "node-degraded"
+	EvNodeRestored       EventKind = "node-restored"
+	EvLinkDegraded       EventKind = "link-degraded"
+	EvLinkRestored       EventKind = "link-restored"
+	EvFaultError         EventKind = "fault-error"
 )
 
 // Event is one structured log entry. Tracker is -1 when not applicable.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"smapreduce/internal/resource"
+	"smapreduce/internal/trace"
 )
 
 // FailTracker kills task tracker id at the current virtual time,
@@ -36,13 +37,33 @@ func (c *Cluster) FailTracker(id int) error {
 }
 
 // ScheduleFailure arranges for FailTracker(id) to fire at virtual time
-// at. Call before Run.
+// at. Call before Run. A failure that cannot be applied when the event
+// fires (unknown tracker, already failed) is recorded in the event log
+// and trace as an erroring fault instant rather than panicking: two
+// overlapping fault schedules naming the same tracker are an
+// operational conflict, not a programming error.
 func (c *Cluster) ScheduleFailure(id int, at float64) {
 	c.clock.Schedule(at, fmt.Sprintf("fail tt%d", id), func() {
-		if err := c.FailTracker(id); err != nil {
-			panic(err)
-		}
+		c.faultErr(id, "crash", c.FailTracker(id))
 	})
+}
+
+// faultErr routes a fault-application error into the event log and
+// trace. A nil err is a no-op, so fault callbacks can wrap their action
+// unconditionally.
+func (c *Cluster) faultErr(tracker int, kind string, err error) {
+	if err == nil {
+		return
+	}
+	c.emit(EvFaultError, "", "", tracker, fmt.Sprintf("%s: %v", kind, err))
+	if c.tracer.Enabled() {
+		pid := trace.PIDController
+		if tracker >= 0 && tracker < len(c.trackers) {
+			pid = trackerPID(tracker)
+		}
+		c.tracer.Instant(c.clock.Now(), pid, "failure", "fault-error")
+	}
+	c.tracef("fault %s on tracker %d not applied: %v", kind, tracker, err)
 }
 
 // failTracker does the work inside a mutation scope.
@@ -148,11 +169,10 @@ func (c *Cluster) failTracker(tt *TaskTracker) {
 	// drain span rather than leaving it dangling past the failure.
 	tt.traceDrainCheck()
 
-	// 4. Wake the live trackers so freed work is picked up immediately.
+	// 4. Wake the live trackers so freed work is picked up immediately
+	// (assign itself skips the unschedulable ones).
 	for _, live := range c.trackers {
-		if !live.failed {
-			c.jt.assign(live)
-		}
+		c.jt.assign(live)
 	}
 }
 
@@ -283,12 +303,13 @@ func (c *Cluster) abortReduce(r *reduceTask) {
 
 	// Rebuild the fetch queue from the outputs that exist right now;
 	// outputs lost in the same failure are re-queued separately and
-	// will re-deliver on commit.
+	// will re-deliver on commit. An outputLost map's host is back up
+	// but rejoined with an empty disk, so it cannot serve either.
 	for _, m := range r.job.maps {
 		if m.state != TaskDone || m.shuffleMB <= 0 {
 			continue
 		}
-		if c.trackers[m.outputHost].failed {
+		if m.outputLost || c.trackers[m.outputHost].failed {
 			continue
 		}
 		share := m.shuffleMB * r.job.partWeights[r.partition]
@@ -304,6 +325,7 @@ func (c *Cluster) requeueCommittedMap(j *Job, m *mapTask) {
 	m.state = TaskPending
 	m.tracker = nil
 	m.outputHost = -1
+	m.outputLost = false
 	m.phase = 0
 	m.pendingOps = 0
 	j.mapsDone--
@@ -346,12 +368,11 @@ func (c *Cluster) DecommissionTracker(id int) error {
 }
 
 // ScheduleDecommission arranges DecommissionTracker(id) at virtual time
-// at. Call before Run.
+// at. Call before Run. Like ScheduleFailure, an inapplicable
+// decommission is logged as a fault error rather than panicking.
 func (c *Cluster) ScheduleDecommission(id int, at float64) {
 	c.clock.Schedule(at, fmt.Sprintf("drain tt%d", id), func() {
-		if err := c.DecommissionTracker(id); err != nil {
-			panic(err)
-		}
+		c.faultErr(id, "decommission", c.DecommissionTracker(id))
 	})
 }
 

@@ -255,6 +255,7 @@ type mapTask struct {
 	preCombineMB float64 // map output before the combiner
 	shuffleMB    float64 // bytes that will cross the network
 	outputHost   int     // node holding the committed output (-1 before)
+	outputLost   bool    // committed output died with a crashed host that later rejoined
 
 	// Phase ops. Phase 0 (map): compute plus an optional remote read;
 	// phase 1 (spill): sort CPU plus disk write.

@@ -102,7 +102,7 @@ func (jt *JobTracker) SetDesiredSlots(tracker, maps, reduces int) {
 // independent so the order is immaterial. Caller must hold a mutation
 // scope.
 func (jt *JobTracker) assign(tt *TaskTracker) {
-	if tt.failed || tt.draining {
+	if !tt.schedulable() {
 		return
 	}
 	for n := tt.freeMapSlots(); n > 0; n-- {

@@ -30,6 +30,7 @@ func (c *Cluster) launchMap(tt *TaskTracker, m *mapTask) {
 		// Under YARN the memory pool, not mapTarget, bounds occupancy.
 		c.inv.CheckMapLaunch(tt.id, len(tt.runningMaps), tt.mapTarget)
 	}
+	c.inv.CheckLaunchTracker(tt.id, tt.failed, tt.draining, tt.hbLost, tt.blacklisted, tt.probation)
 	c.emit(EvTaskStarted, m.job.Spec.Name, fmt.Sprintf("map/%d", m.id), tt.id, "")
 	c.traceMapBegin(tt, m)
 	if m.job.Started < 0 {
@@ -188,6 +189,7 @@ func (c *Cluster) commitMap(m *mapTask) {
 	// is what reducers, the barrier and failure recovery track.
 	logical.state = TaskDone
 	logical.outputHost = tt.id
+	logical.outputLost = false // fresh commit supersedes any lost predecessor
 	logical.finished = c.clock.Now()
 	if logical.started == 0 && m.started > 0 {
 		logical.started = m.started
@@ -325,6 +327,7 @@ func (c *Cluster) launchReduce(tt *TaskTracker, r *reduceTask) {
 	if c.inv != nil && c.cfg.Policy != YARN {
 		c.inv.CheckReduceLaunch(tt.id, len(tt.runningReduces), tt.reduceTarget)
 	}
+	c.inv.CheckLaunchTracker(tt.id, tt.failed, tt.draining, tt.hbLost, tt.blacklisted, tt.probation)
 	c.emit(EvTaskStarted, r.job.Spec.Name, fmt.Sprintf("reduce/%d", r.partition), tt.id, "")
 	c.traceReduceBegin(tt, r)
 	if r.job.Started < 0 {

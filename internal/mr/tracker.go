@@ -40,6 +40,18 @@ type TaskTracker struct {
 	failed   bool
 	draining bool
 
+	// Heartbeat-loss fault state (internal/chaos): a silent tracker is
+	// blacklisted after BlacklistTimeout and serves an exponentially
+	// backed-off probation once its heartbeats resume. Running tasks
+	// keep executing throughout — only new assignment is gated.
+	hbLost         bool
+	blacklisted    bool
+	probation      bool
+	blacklistCount int // incidents, drives the probation backoff
+	hbResume       sim.EventRef
+	blacklistCheck sim.EventRef
+	probationEnd   sim.EventRef
+
 	lastHB            float64
 	lastMapInputMB    float64
 	lastMapOutputMB   float64
@@ -100,6 +112,25 @@ func (tt *TaskTracker) Failed() bool { return tt.failed }
 
 // Draining reports whether the tracker is being decommissioned.
 func (tt *TaskTracker) Draining() bool { return tt.draining }
+
+// HeartbeatLost reports whether the tracker is inside an injected
+// heartbeat-loss window.
+func (tt *TaskTracker) HeartbeatLost() bool { return tt.hbLost }
+
+// Blacklisted reports whether the job tracker has blacklisted this
+// tracker for prolonged heartbeat silence.
+func (tt *TaskTracker) Blacklisted() bool { return tt.blacklisted }
+
+// OnProbation reports whether the tracker is serving its post-blacklist
+// probation.
+func (tt *TaskTracker) OnProbation() bool { return tt.probation }
+
+// schedulable reports whether the job tracker may hand this tracker new
+// work. Failed, draining, silent, blacklisted and probation trackers
+// all keep running what they have but receive nothing new.
+func (tt *TaskTracker) schedulable() bool {
+	return !tt.failed && !tt.draining && !tt.hbLost && !tt.blacklisted && !tt.probation
+}
 
 // freeMapSlots reports launchable map slots under the active policy.
 // Under YARN, once the head job passes its reduce slow-start the node
@@ -338,10 +369,16 @@ func sumAscending(vals []float64) float64 {
 	return total
 }
 
-// stop cancels the tracker's periodic machinery at simulation shutdown.
+// stop cancels the tracker's periodic machinery at simulation shutdown
+// (and on crash: a failed tracker's pending fault timers must not fire
+// against its carcass).
 func (tt *TaskTracker) stop() {
 	tt.c.clock.Cancel(tt.hbEvent)
 	tt.c.clock.Cancel(tt.disturbanceExpiry)
+	tt.c.clock.Cancel(tt.hbResume)
+	tt.c.clock.Cancel(tt.blacklistCheck)
+	tt.c.clock.Cancel(tt.probationEnd)
+	tt.hbResume, tt.blacklistCheck, tt.probationEnd = 0, 0, 0
 	if tt.disturbance != nil {
 		tt.node.Remove(tt.disturbance)
 		tt.disturbance = nil

@@ -180,6 +180,12 @@ type Fabric struct {
 	dirtyMark  []bool
 	dirtyLinks []int32
 
+	// linkScale multiplies each link's capacity — the fault-injection
+	// hook for degraded or severed links. 1.0 everywhere on a healthy
+	// fabric; 0 severs the link (its flows drop to rate zero until the
+	// scale is restored and the dirty-set resolve reruns).
+	linkScale []float64
+
 	// linkSlack is each link's remaining capacity after the last
 	// water-fill touching it, kept current across the O(1) fast paths
 	// (which move flows at exactly their caps, so the updates cancel
@@ -229,12 +235,14 @@ func NewFabric(cfg Config) *Fabric {
 		linkFlows: make([][]*Flow, links),
 		dirtyMark: make([]bool, links),
 		linkVisit: make([]uint32, links),
+		linkScale: make([]float64, links),
 		linkSlack: make([]float64, links),
 		capBuf:    make([]float64, links),
 		cntBuf:    make([]int, links),
 		linkStamp: make([]uint32, links),
 	}
 	for l := range fb.linkSlack {
+		fb.linkScale[l] = 1
 		fb.linkSlack[l] = fb.linkCapacity(l)
 	}
 	return fb
@@ -530,12 +538,46 @@ func (fb *Fabric) linkCapacity(l int) float64 {
 	n := fb.cfg.Nodes
 	switch {
 	case l < n:
-		return fb.cfg.EgressMBps
+		return fb.cfg.EgressMBps * fb.linkScale[l]
 	case l < 2*n:
-		return fb.ingressCap(l - n)
+		return fb.ingressCap(l-n) * fb.linkScale[l]
 	default:
-		return fb.cfg.RackUplinkMBps
+		return fb.cfg.RackUplinkMBps * fb.linkScale[l]
 	}
+}
+
+// SetNodeLinkScale degrades (or restores) one node's access links:
+// egress and ingress capacities are multiplied by the given factors in
+// [0, 1]. A factor of 0 severs the direction — its flows stall at rate
+// zero until the scale is restored. The affected links enter the dirty
+// set; under auto-recompute the resolve runs immediately, otherwise it
+// folds into the caller's next ResolveDirty, exactly like flow churn.
+// Loopback traffic (src == dst) never crosses the fabric and is
+// unaffected, matching a NIC/ToR fault that leaves the host alive.
+func (fb *Fabric) SetNodeLinkScale(node int, egress, ingress float64) {
+	if node < 0 || node >= fb.cfg.Nodes {
+		panic(fmt.Sprintf("netsim: SetNodeLinkScale(%d): no such node", node))
+	}
+	if !(egress >= 0 && egress <= 1) || !(ingress >= 0 && ingress <= 1) { // negated form rejects NaN too
+		panic(fmt.Sprintf("netsim: SetNodeLinkScale(%d, %v, %v): scales must be in [0,1]", node, egress, ingress))
+	}
+	eg, in := int32(node), int32(fb.cfg.Nodes+node)
+	if fb.linkScale[eg] == egress && fb.linkScale[in] == ingress {
+		return
+	}
+	fb.linkScale[eg] = egress
+	fb.linkScale[in] = ingress
+	fb.markLinkDirty(eg)
+	fb.markLinkDirty(in)
+	if fb.auto {
+		fb.ResolveDirty()
+	}
+}
+
+// NodeLinkScale returns node's current (egress, ingress) capacity
+// factors; (1, 1) when healthy.
+func (fb *Fabric) NodeLinkScale(node int) (egress, ingress float64) {
+	return fb.linkScale[node], fb.linkScale[fb.cfg.Nodes+node]
 }
 
 // Recompute reruns water-filling over every active flow, ignoring the

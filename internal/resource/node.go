@@ -143,6 +143,13 @@ type Node struct {
 	pressure    float64
 	footprintMB float64
 
+	// Transient service-rate degradation (fault injection): effective
+	// CPU throughput and disk bandwidth are multiplied by these factors.
+	// 1.0 is the healthy node; a failing disk or a thermally throttled
+	// CPU scales its factor down mid-run.
+	cpuScale  float64
+	diskScale float64
+
 	// onChange, when set, runs after every membership change has
 	// recomputed rates. The mr runtime uses it to mark the node's fluid
 	// ops dirty instead of re-reading every op in the cluster.
@@ -155,7 +162,7 @@ func NewNode(id int, spec Spec) *Node {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	return &Node{spec: spec, id: id, acts: make(map[*Activity]struct{})}
+	return &Node{spec: spec, id: id, acts: make(map[*Activity]struct{}), cpuScale: 1, diskScale: 1}
 }
 
 // ID returns the node's cluster-wide identifier.
@@ -268,8 +275,31 @@ func (n *Node) CPUThroughput() float64 {
 	if parallel > float64(n.spec.Cores) {
 		parallel = float64(n.spec.Cores)
 	}
-	return n.spec.CoreSpeed * parallel * n.Efficiency()
+	return n.spec.CoreSpeed * parallel * n.Efficiency() * n.cpuScale
 }
+
+// SetServiceScale applies a transient service-rate degradation: cpu
+// scales the node's effective CPU throughput, disk its disk bandwidth.
+// Both must be in (0, 1] — a fully dead node is a tracker failure, not
+// a degradation. Rates recompute immediately and the change hook fires
+// so bound fluid ops reschedule.
+func (n *Node) SetServiceScale(cpu, disk float64) {
+	if !(cpu > 0 && cpu <= 1) || !(disk > 0 && disk <= 1) { // negated form rejects NaN too
+		panic(fmt.Sprintf("resource: SetServiceScale(%v, %v): scales must be in (0,1]", cpu, disk))
+	}
+	if cpu == n.cpuScale && disk == n.diskScale {
+		return
+	}
+	n.cpuScale, n.diskScale = cpu, disk
+	n.recompute()
+	if n.onChange != nil {
+		n.onChange()
+	}
+}
+
+// ServiceScale returns the node's current (cpu, disk) degradation
+// factors; (1, 1) when healthy.
+func (n *Node) ServiceScale() (cpu, disk float64) { return n.cpuScale, n.diskScale }
 
 // Utilisation returns the fraction of the node's nominal peak CPU
 // throughput (Cores × CoreSpeed) currently being delivered, in [0, 1].
@@ -317,7 +347,7 @@ func (n *Node) recompute() {
 	}
 	diskShare := 0.0
 	if n.nDisk > 0 {
-		diskShare = n.spec.DiskMBps / float64(n.nDisk)
+		diskShare = n.spec.DiskMBps * n.diskScale / float64(n.nDisk)
 	}
 	for a := range n.acts {
 		switch a.Kind {

@@ -1,0 +1,73 @@
+package resource
+
+import (
+	"math"
+	"testing"
+)
+
+// Service scaling is the node's fault-injection hook (internal/chaos
+// slow-node faults): factors in (0,1] multiply the delivered CPU and
+// disk service rates, leaving the calibration curves (ThroughputCurve,
+// PeakSlots) untouched.
+
+func TestServiceScaleThrottlesCPU(t *testing.T) {
+	n := NewNode(0, testSpec())
+	a := &Activity{Kind: CPU, Remaining: 10, Weight: 1, Pressure: 0.01, FootprintMB: 100, Label: "t"}
+	n.Add(a)
+	base := a.Rate()
+	n.SetServiceScale(0.5, 1)
+	if math.Abs(a.Rate()-base*0.5) > 1e-12 {
+		t.Fatalf("half cpu: rate = %v, want %v", a.Rate(), base*0.5)
+	}
+	cpu, disk := n.ServiceScale()
+	if cpu != 0.5 || disk != 1 {
+		t.Fatalf("ServiceScale = %v/%v, want 0.5/1", cpu, disk)
+	}
+	n.SetServiceScale(1, 1)
+	if a.Rate() != base {
+		t.Fatalf("restored rate = %v, want %v", a.Rate(), base)
+	}
+}
+
+func TestServiceScaleThrottlesDisk(t *testing.T) {
+	n := NewNode(0, testSpec())
+	a := &Activity{Kind: Disk, Remaining: 100, Weight: 1, Label: "d"}
+	n.Add(a)
+	base := a.Rate()
+	n.SetServiceScale(1, 0.25)
+	if math.Abs(a.Rate()-base*0.25) > 1e-12 {
+		t.Fatalf("quarter disk: rate = %v, want %v", a.Rate(), base*0.25)
+	}
+	n.SetServiceScale(1, 1)
+	if a.Rate() != base {
+		t.Fatalf("restored rate = %v, want %v", a.Rate(), base)
+	}
+}
+
+func TestServiceScaleLeavesCalibrationCurveAlone(t *testing.T) {
+	n := NewNode(0, testSpec())
+	baseCurve := n.ThroughputCurve(4, 0.05, 200)
+	basePeak := n.PeakSlots(0.05, 200, 16)
+	n.SetServiceScale(0.5, 0.5)
+	if curve := n.ThroughputCurve(4, 0.05, 200); curve != baseCurve {
+		t.Fatalf("ThroughputCurve changed under degradation: %v, want %v", curve, baseCurve)
+	}
+	if peak := n.PeakSlots(0.05, 200, 16); peak != basePeak {
+		t.Fatalf("PeakSlots changed under degradation: %d, want %d", peak, basePeak)
+	}
+}
+
+func TestSetServiceScalePanicsOnBadArgs(t *testing.T) {
+	n := NewNode(0, testSpec())
+	cases := [][2]float64{{0, 1}, {1, 0}, {-0.5, 1}, {1, 1.5}, {math.NaN(), 1}, {1, math.NaN()}}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d (%v): no panic", i, c)
+				}
+			}()
+			n.SetServiceScale(c[0], c[1])
+		}()
+	}
+}

@@ -96,6 +96,32 @@ func (v *Invariants) CheckReduceLaunch(tracker, running, target int) {
 	}
 }
 
+// CheckLaunchTracker validates that the tracker receiving a task launch
+// is actually eligible for work: not failed, not draining, not inside a
+// heartbeat-loss window, not blacklisted, not on probation.
+func (v *Invariants) CheckLaunchTracker(tracker int, failed, draining, hbLost, blacklisted, probation bool) {
+	if v == nil {
+		return
+	}
+	if failed || draining || hbLost || blacklisted || probation {
+		panic(fmt.Sprintf("telemetry: invariant violated: task launched on ineligible tracker %d (failed=%v draining=%v hbLost=%v blacklisted=%v probation=%v)",
+			tracker, failed, draining, hbLost, blacklisted, probation))
+	}
+}
+
+// CheckRecover validates a tracker rejoin: a crashed tracker must come
+// back with zero pre-crash task state (its slots were emptied by the
+// failure path; anything still attached would be ghost work).
+func (v *Invariants) CheckRecover(tracker, runningMaps, runningReduces int) {
+	if v == nil {
+		return
+	}
+	if runningMaps != 0 || runningReduces != 0 {
+		panic(fmt.Sprintf("telemetry: invariant violated: tracker %d rejoined holding %d maps / %d reduces",
+			tracker, runningMaps, runningReduces))
+	}
+}
+
 // CheckCounters validates that a tracker's cumulative done counters
 // have not decreased since the previous check.
 func (v *Invariants) CheckCounters(tracker int, inMB, outMB, shufMB float64) {
