@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc trace-smoke clean
+.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-fleet trace-smoke clean
 
 all: check
 
@@ -55,6 +55,15 @@ bench-fluid:
 bench-alloc:
 	$(GO) test -short -run 'ZeroAlloc|AllocFree' ./internal/sim/ ./internal/netsim/ ./internal/mr/
 	$(GO) run ./cmd/smrbench -memjson
+
+# bench-fleet regenerates BENCH_fleet.json (the fleet runner's
+# 1→GOMAXPROCS scaling curve over a 256-cluster fleet: runs/sec,
+# speedup and parallel efficiency per worker count), after running the
+# fleet determinism pin as a gate. The curve is machine-dependent —
+# efficiency is only meaningful up to the runner's core count.
+bench-fleet:
+	$(GO) test -run 'FleetDeterminism' ./internal/fleet/
+	$(GO) run ./cmd/smrbench -fleetjson
 
 # trace-smoke proves the observability pipeline end to end: a traced
 # default run must produce a valid Chrome trace (tracecheck) and a

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"smapreduce/internal/core"
+	"smapreduce/internal/fleet"
+)
+
+// fleetClusters is the fleet size -fleetjson measures: large enough
+// that per-cluster cost dominates pool dispatch, small enough that the
+// whole sweep stays in seconds.
+const fleetClusters = 256
+
+// fleetPoint is one worker count's measurement.
+type fleetPoint struct {
+	Workers    int     `json:"workers"`
+	WallS      float64 `json:"wall_s"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// fleetReport is the BENCH_fleet.json schema.
+type fleetReport struct {
+	Command    string       `json:"command"`
+	Clusters   int          `json:"clusters"`
+	Engine     string       `json:"engine"`
+	Seed       uint64       `json:"seed"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Note       string       `json:"note"`
+	Results    []fleetPoint `json:"results"`
+}
+
+// fleetSweep returns the worker counts to measure: powers of two from 1
+// up to max(GOMAXPROCS, 4), plus GOMAXPROCS itself when it is not a
+// power of two — so the curve always shows at least the 1→4 shape and
+// always includes the machine's full width.
+func fleetSweep() []int {
+	maxW := runtime.GOMAXPROCS(0)
+	if maxW < 4 {
+		maxW = 4
+	}
+	var sweep []int
+	for w := 1; w <= maxW; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	if g := runtime.GOMAXPROCS(0); g > 4 && sweep[len(sweep)-1] != g {
+		sweep = append(sweep, g)
+	}
+	return sweep
+}
+
+// writeFleetJSON times the fleet runner over the worker sweep and
+// writes the scaling curve. Each point gets one untimed warm-up fleet
+// (allocator steady state, matching writeBenchJSON's protocol) and one
+// measured fleet; the merged results are cross-checked bit-for-bit
+// across worker counts, so the curve cannot silently measure a
+// determinism regression.
+func writeFleetJSON(seed uint64, path string) error {
+	run := func(w int) (float64, *fleet.Result, error) {
+		cfg := fleet.Config{
+			Clusters: fleetClusters,
+			Workers:  w,
+			Seed:     seed,
+			Engine:   core.EngineSMapReduce,
+		}
+		if _, err := fleet.Run(cfg); err != nil {
+			return 0, nil, err
+		}
+		start := time.Now()
+		res, err := fleet.Run(cfg)
+		return time.Since(start).Seconds(), res, err
+	}
+
+	var (
+		points   []fleetPoint
+		baseWall float64
+		refSum   uint64
+		refDone  int
+	)
+	for _, w := range fleetSweep() {
+		wall, res, err := run(w)
+		if err != nil {
+			return fmt.Errorf("fleet workers=%d: %w", w, err)
+		}
+		sum := math.Float64bits(res.Makespan.Sum())
+		if len(points) == 0 {
+			baseWall, refSum, refDone = wall, sum, res.Completed
+		} else if sum != refSum || res.Completed != refDone {
+			return fmt.Errorf("fleet workers=%d: merged result diverges from workers=1 (determinism regression)", w)
+		}
+		points = append(points, fleetPoint{
+			Workers:    w,
+			WallS:      wall,
+			RunsPerSec: fleetClusters / wall,
+			Speedup:    baseWall / wall,
+			Efficiency: baseWall / wall / float64(w),
+		})
+	}
+
+	report := fleetReport{
+		Command:    "smrbench -fleetjson",
+		Clusters:   fleetClusters,
+		Engine:     core.EngineSMapReduce.String(),
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "speedup is vs workers=1; efficiency = speedup/workers. " +
+			"Points with workers > gomaxprocs are oversubscribed: they measure pool overhead, " +
+			"not scaling, and efficiency there is expected to fall as 1/workers. " +
+			"Regenerate on the target machine (make bench-fleet) for its true curve.",
+		Results: points,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, p := range report.Results {
+		fmt.Printf("workers %3d   wall %8.3fs   %8.1f runs/s   speedup %5.2fx   efficiency %5.1f%%\n",
+			p.Workers, p.WallS, p.RunsPerSec, p.Speedup, 100*p.Efficiency)
+	}
+	fmt.Printf("wrote %s (gomaxprocs %d)\n", path, report.GOMAXPROCS)
+	return nil
+}

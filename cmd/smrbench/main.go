@@ -9,6 +9,7 @@
 //	smrbench -scale 0.25     # quicker, smaller inputs
 //	smrbench -benchjson      # time the fluid resolver, write BENCH_fluid.json
 //	smrbench -memjson        # measure allocs/bytes/GC, write BENCH_alloc.json
+//	smrbench -fleetjson      # time the fleet runner's scaling curve, write BENCH_fleet.json
 package main
 
 import (
@@ -55,6 +56,7 @@ func main() {
 	extras := flag.Bool("extras", false, "also run the beyond-the-paper experiments (ablations, heterogeneous cluster, schedulers, speculation)")
 	benchJSON := flag.Bool("benchjson", false, "time the fluid-rate resolver (figure macro-runs and netsim churn) and write BENCH_fluid.json instead of running figures")
 	memJSON := flag.Bool("memjson", false, "measure heap behaviour (allocs/op, bytes/op, GC cycles) of the figure macro-runs and the netsim churn loop, write BENCH_alloc.json instead of running figures")
+	fleetJSON := flag.Bool("fleetjson", false, "time a 256-cluster fleet at worker counts 1,2,4,… and write the scaling curve to BENCH_fleet.json instead of running figures")
 	telemPath := flag.String("telemetry", "", "capture a seeded SMapReduce histogram-ratings run, write its telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline instead of running figures")
 	tracePath := flag.String("trace", "", "capture a seeded SMapReduce histogram-ratings run and write its Chrome trace-event JSON to this file (combinable with -telemetry) instead of running figures")
 	flag.Var(&figs, "fig", "figure number to run (repeatable; default: all)")
@@ -81,6 +83,14 @@ func main() {
 
 	if *memJSON {
 		if err := writeMemJSON(cfg, "BENCH_alloc.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fleetJSON {
+		if err := writeFleetJSON(*seed, "BENCH_fleet.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"smapreduce/internal/core"
+	"smapreduce/internal/fleet"
+	"smapreduce/internal/mr"
+	"smapreduce/internal/sim"
+)
+
+// runFleet executes -fleet N: a fleet of independent tenant clusters
+// sharing the cluster shape built from the usual flags, with merged
+// fleet-level statistics instead of a per-job timeline. Each cluster
+// gets its own seed derived from -seed, so the fleet is reproducible
+// and worker-count independent.
+func runFleet(n, workers int, engine core.Engine, cluster mr.Config, specs []mr.JobSpec, mix bool, seed uint64) {
+	cfg := fleet.Config{
+		Clusters: n,
+		Workers:  workers,
+		Seed:     seed,
+		Engine:   engine,
+		Cluster:  cluster,
+	}
+	if !mix {
+		// Same workload in every cluster; only the seed varies. The
+		// slice is shared read-only across workers (specs are copied by
+		// value into jobs).
+		cfg.Specs = func(int, *sim.Rand) []mr.JobSpec { return specs }
+	}
+	start := time.Now()
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start).Seconds()
+	fmt.Println(res.Summary())
+	fmt.Printf("  wall:      %.2fs  (%.1f clusters/s on %d workers)\n",
+		wall, float64(n)/wall, res.Workers)
+}

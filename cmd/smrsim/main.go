@@ -12,6 +12,8 @@
 //	smrsim -bench terasort -chaos schedule.chaos
 //	smrsim -bench terasort -trace run.json -tracev 1 -explain
 //	smrsim -bench terasort -serve :8080 -telemetry run.csv
+//	smrsim -fleet 1024 -fleet-workers 8 -bench grep -input-gb 1
+//	smrsim -fleet 256 -fleet-mix -seed 7
 package main
 
 import (
@@ -56,6 +58,9 @@ func main() {
 		eventsPath  = flag.String("events", "", "write the structured runtime event log (JSONL) to this file")
 		telemPath   = flag.String("telemetry", "", "write the sampled telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline")
 		history     = flag.Bool("history", false, "print the per-job history report")
+		fleetN      = flag.Int("fleet", 0, "run a fleet of N independent clusters in parallel and print merged stats (per-run flags like -trace/-serve are ignored)")
+		fleetWk     = flag.Int("fleet-workers", 0, "fleet worker-pool size (0 = GOMAXPROCS, overridable via SMR_WORKERS); -workers still means task trackers per cluster")
+		fleetMix    = flag.Bool("fleet-mix", false, "give each fleet cluster a seed-derived PUMA workload mix instead of the -bench workload")
 	)
 	flag.Parse()
 
@@ -87,6 +92,11 @@ func main() {
 	specs, err := cli.BuildJobs(*bench, *inputGB, *reduces, *jobs, *stagger)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *fleetN > 0 {
+		runFleet(*fleetN, *fleetWk, engine, cluster, specs, *fleetMix, *seed)
+		return
 	}
 
 	switch engine {

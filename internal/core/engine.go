@@ -54,6 +54,14 @@ type Options struct {
 	// Tracer, when non-nil, records span/instant traces of the run
 	// (task lifecycles, slot-manager decisions, flows by verbosity).
 	Tracer *trace.Tracer
+	// Sim, when non-nil, supplies recycled simulation substrate (event
+	// arena, fabric) the cluster is built on instead of fresh
+	// allocations — the fleet runner's per-worker reuse hook. See
+	// mr.SimState for the aliasing rules.
+	Sim *mr.SimState
+	// Events, when true, attaches the structured event log; it is
+	// returned on Result.Events.
+	Events bool
 }
 
 // Result is the outcome of running a workload on one engine.
@@ -65,6 +73,14 @@ type Result struct {
 	// Audits carries the full-input audit record behind each decision,
 	// index-aligned with Decisions (SMapReduce only).
 	Audits []AuditRecord
+	// Events is the structured event log, non-nil when Options.Events
+	// was set.
+	Events *mr.EventLog
+	// Cluster is the cluster the run executed on, for post-run
+	// inspection (Snapshot, reports). When the run used Options.Sim,
+	// the cluster's substrate is recycled by the *next* run on that
+	// SimState — finish reading before starting another run.
+	Cluster *mr.Cluster
 }
 
 // Run executes the given jobs on the chosen engine and returns the
@@ -85,13 +101,16 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 		return nil, fmt.Errorf("core: unknown engine %v", engine)
 	}
 
-	c, err := mr.NewCluster(cfg)
+	c, err := mr.NewClusterReusing(cfg, opts.Sim)
 	if err != nil {
 		return nil, err
 	}
 	c.Trace = opts.Trace
 
-	res := &Result{Engine: engine}
+	res := &Result{Engine: engine, Cluster: c}
+	if opts.Events {
+		res.Events = c.EnableEventLog(0)
+	}
 	var mgr *SlotManager
 	if engine == EngineSMapReduce {
 		mgr, err = NewSlotManager(opts.SlotManager)

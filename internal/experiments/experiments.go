@@ -14,6 +14,7 @@ import (
 	"smapreduce/internal/core"
 	"smapreduce/internal/metrics"
 	"smapreduce/internal/mr"
+	"smapreduce/internal/par"
 	"smapreduce/internal/puma"
 )
 
@@ -137,7 +138,7 @@ func Figure1(cfg Config) (*Fig1Result, error) {
 	benches := []string{"terasort", "term-vector", "grep"}
 	const maxSlots = 10
 	points := make([]Fig1Point, len(benches)*maxSlots)
-	err := parallelFor(len(points), func(i int) error {
+	err := par.For(len(points), func(i int) error {
 		bench := benches[i/maxSlots]
 		slots := i%maxSlots + 1
 		cluster := cfg.cluster()
@@ -212,7 +213,7 @@ func Figure3(cfg Config) (*Fig3Result, error) {
 	}
 	engines := core.Engines()
 	rows := make([]Fig3Row, len(Fig3Benchmarks)*len(engines))
-	err := parallelFor(len(rows), func(i int) error {
+	err := par.For(len(rows), func(i int) error {
 		bench := Fig3Benchmarks[i/len(engines)]
 		engine := engines[i%len(engines)]
 		j, err := runOne(engine, cfg.cluster(), cfg.spec(bench, 100))
@@ -354,7 +355,7 @@ func Figure5(cfg Config) (*Fig5Result, error) {
 	}
 	engines := core.Engines()
 	rows := make([]Fig5Row, 8*len(engines))
-	err := parallelFor(len(rows), func(i int) error {
+	err := par.For(len(rows), func(i int) error {
 		slots := i/len(engines) + 1
 		engine := engines[i%len(engines)]
 		cluster := cfg.cluster()
@@ -426,7 +427,7 @@ func Figure6(cfg Config) (*Fig6Result, error) {
 	sizes := []float64{50, 100, 150, 200, 250}
 	engines := core.Engines()
 	rows := make([]Fig6Row, len(sizes)*len(engines))
-	err := parallelFor(len(rows), func(i int) error {
+	err := par.For(len(rows), func(i int) error {
 		gb := sizes[i/len(engines)]
 		engine := engines[i%len(engines)]
 		j, err := runOne(engine, cfg.cluster(), cfg.spec("histogram-ratings", gb))
@@ -518,7 +519,7 @@ func Figure7(cfg Config) (*Fig7Result, error) {
 	// point, or the ablation is invisible.
 	sizes := map[string]float64{"histogram-movies": 250, "inverted-index": 100}
 	rows := make([]Fig7Row, len(Fig7Benchmarks)*len(arms))
-	err := parallelFor(len(rows), func(i int) error {
+	err := par.For(len(rows), func(i int) error {
 		bench := Fig7Benchmarks[i/len(arms)]
 		a := arms[i%len(arms)]
 		r, err := core.Run(a.engine, core.Options{Cluster: cfg.cluster(), SlotManager: a.sm}, cfg.spec(bench, sizes[bench]))

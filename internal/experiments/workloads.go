@@ -7,6 +7,7 @@ import (
 	"smapreduce/internal/core"
 	"smapreduce/internal/metrics"
 	"smapreduce/internal/mr"
+	"smapreduce/internal/par"
 	"smapreduce/internal/puma"
 	"smapreduce/internal/sim"
 	"smapreduce/internal/stats"
@@ -116,7 +117,7 @@ func SkewSensitivity(cfg Config) (*SkewResult, error) {
 	skews := []float64{0, 0.5, 1.0}
 	engines := []core.Engine{core.EngineHadoopV1, core.EngineSMapReduce}
 	rows := make([]SkewRow, len(skews)*len(engines))
-	err := parallelFor(len(rows), func(i int) error {
+	err := par.For(len(rows), func(i int) error {
 		skew := skews[i/len(engines)]
 		engine := engines[i%len(engines)]
 		spec := cfg.spec("terasort", 40)

@@ -216,6 +216,12 @@ func (c *Cluster) EnableTelemetry(col *telemetry.Collector) {
 
 // NewCluster builds a cluster from cfg. Invalid configs return an error.
 func NewCluster(cfg Config) (*Cluster, error) {
+	return newCluster(cfg, nil)
+}
+
+// newCluster builds a cluster, adopting st's recycled substrate when
+// non-nil (see NewClusterReusing).
+func newCluster(cfg Config, st *SimState) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,12 +235,29 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.ProbationPeriod == 0 {
 		cfg.ProbationPeriod = 5 * cfg.HeartbeatPeriod
 	}
+	var clock *sim.Clock
+	var fabric *netsim.Fabric
+	if st == nil {
+		clock, fabric = sim.NewClock(), netsim.NewFabric(net)
+	} else {
+		if st.clock == nil {
+			st.clock = sim.NewClock()
+		} else {
+			st.clock.Reset()
+		}
+		if st.fabric == nil {
+			st.fabric = netsim.NewFabric(net)
+		} else {
+			st.fabric.Reset(net)
+		}
+		clock, fabric = st.clock, st.fabric
+	}
 	rng := sim.NewRand(cfg.Seed)
 	c := &Cluster{
 		cfg:     cfg,
-		clock:   sim.NewClock(),
+		clock:   clock,
 		rng:     rng.Fork(0),
-		fabric:  netsim.NewFabric(net),
+		fabric:  fabric,
 		fs:      dfs.New(cfg.Workers, cfg.DFS, rng.Fork(1)),
 		nodeOps: make([][]*fluidOp, cfg.Workers),
 		inv:     telemetry.NewInvariants(),

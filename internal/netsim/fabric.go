@@ -248,6 +248,77 @@ func NewFabric(cfg Config) *Fabric {
 	return fb
 }
 
+// Reset returns the fabric to the freshly constructed state for the
+// given config (which may change the geometry), retaining every backing
+// allocation that fits — per-link slices, flow lists, BFS and
+// water-filling scratch, and the flow free list — so a pooled worker
+// can drive consecutive simulations without re-growing them. Listeners
+// are dropped (they close over the previous owner), auto-recompute is
+// restored and the verification mode disarmed. All registered flows
+// are discarded without notification: the caller owns their lifecycle
+// and must be done with them. Invalid configs panic, as in NewFabric.
+//
+// A reset fabric is observationally identical to NewFabric(cfg): every
+// counter and stamp restarts, so a simulation driven on it computes
+// bit-identical rates to one driven on a fresh fabric.
+func (fb *Fabric) Reset(cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	links := 2*cfg.Nodes + 2*cfg.racks()
+	fb.cfg = cfg
+	clear(fb.flows)
+	fb.flows = fb.flows[:0]
+	fb.outCount = resize(fb.outCount, cfg.Nodes)
+	fb.inCount = resize(fb.inCount, cfg.Nodes)
+	fb.auto = true
+	fb.onRateChange, fb.onFlowAdd, fb.onFlowRemove = nil, nil, nil
+	fb.fullResolve = false
+	// Empty the inner flow lists before resizing the outer slice, so
+	// lists hidden by a shrink are already empty if a later Reset grows
+	// the geometry back.
+	for i := range fb.linkFlows {
+		clear(fb.linkFlows[i])
+		fb.linkFlows[i] = fb.linkFlows[i][:0]
+	}
+	if cap(fb.linkFlows) < links {
+		grown := make([][]*Flow, links)
+		copy(grown, fb.linkFlows)
+		fb.linkFlows = grown
+	} else {
+		fb.linkFlows = fb.linkFlows[:links]
+	}
+	fb.dirtyMark = resize(fb.dirtyMark, links)
+	fb.dirtyLinks = fb.dirtyLinks[:0]
+	fb.linkScale = resize(fb.linkScale, links)
+	fb.linkSlack = resize(fb.linkSlack, links)
+	fb.linkVisit = resize(fb.linkVisit, links)
+	fb.visitSeq, fb.compSeq, fb.stampCur = 0, 0, 0
+	fb.bfsQ = fb.bfsQ[:0]
+	clear(fb.comp)
+	fb.comp = fb.comp[:0]
+	fb.capBuf = resize(fb.capBuf, links)
+	fb.cntBuf = resize(fb.cntBuf, links)
+	fb.linkStamp = resize(fb.linkStamp, links)
+	fb.scopeLinks = fb.scopeLinks[:0]
+	fb.rateSnap = fb.rateSnap[:0]
+	for l := range fb.linkSlack {
+		fb.linkScale[l] = 1
+		fb.linkSlack[l] = fb.linkCapacity(l)
+	}
+}
+
+// resize returns s with length n and all elements zeroed, reusing the
+// backing array when it is large enough.
+func resize[T bool | int | int32 | uint32 | float64](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // SetAutoRecompute controls whether Add and Remove resolve rates
 // immediately (the default). Batch users disable it and call Recompute
 // (or ResolveDirty) once per batch; rates are stale in between.

@@ -1,0 +1,93 @@
+// Package par provides the shared worker-pool parallel-for used by the
+// experiment harnesses and the fleet runner. Each simulation owns its
+// cluster, clock and RNG, so independent runs parallelise perfectly;
+// callers write results to pre-sized slices indexed by i, keeping
+// output order deterministic regardless of scheduling.
+//
+// The worker count defaults to GOMAXPROCS and can be overridden by the
+// SMR_WORKERS environment variable (or an explicit count via ForN) —
+// useful for pinning benchmarks to a worker count and for scaling
+// curves on machines whose core count differs from the target.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Workers returns the default worker count: the value of the
+// SMR_WORKERS environment variable when set to a positive integer,
+// otherwise GOMAXPROCS. It is read per call, so tests can flip the
+// override with t.Setenv.
+func Workers() int {
+	if s := os.Getenv("SMR_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for i in [0, n) across Workers() workers. When several
+// iterations fail, the error from the lowest index is returned —
+// deterministic regardless of which goroutine reported first.
+func For(n int, fn func(i int) error) error {
+	return ForN(n, 0, func(_, i int) error { return fn(i) })
+}
+
+// ForN is For with an explicit worker count (non-positive means
+// Workers()) and the worker's identity passed to fn. Worker ids are
+// dense in [0, workers); each id is owned by exactly one goroutine for
+// the whole call, so fn may keep per-worker state (scratch arenas,
+// pooled simulation substrate) in a slice indexed by worker without
+// synchronisation.
+func ForN(n, workers int, fn func(worker, i int) error) error {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = -1
+		minErr error
+	)
+	// One buffer slot per worker: the dispatcher stays a full round
+	// ahead, so a worker finishing an iteration dequeues the next index
+	// immediately instead of blocking on a rendezvous with the
+	// dispatcher goroutine.
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(worker, i); err != nil {
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, minErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return minErr
+}

@@ -1,14 +1,14 @@
-package experiments
+package par
 
 import "testing"
 
-// BenchmarkParallelForDispatch measures pure dispatch overhead: n no-op
+// BenchmarkForDispatch measures pure dispatch overhead: n no-op
 // iterations, so the cost is entirely channel handoff. The buffered
 // work channel (capacity = workers) lets the dispatcher run a round
 // ahead instead of performing a synchronous rendezvous per index.
-func BenchmarkParallelForDispatch(b *testing.B) {
+func BenchmarkForDispatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := parallelFor(4096, func(int) error { return nil }); err != nil {
+		if err := For(4096, func(int) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	if err := For(100, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d iterations, want 100", ran.Load())
+	}
+}
+
+func TestForLowestIndexErrorWins(t *testing.T) {
+	// Errors injected at two indices: the lower one must be reported,
+	// no matter which goroutine finishes first. The high-index failure
+	// returns instantly while the low-index one is delayed behind real
+	// work, biasing the race toward the wrong answer if selection were
+	// first-wins. Workers are pinned to 4 so the concurrent path runs
+	// even when GOMAXPROCS is 1.
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		err := ForN(64, 4, func(_, i int) error {
+			switch i {
+			case 3:
+				// Busy work so index 3 reports after index 60.
+				s := 0.0
+				for k := 0; k < 100000; k++ {
+					s += float64(k)
+				}
+				if s < 0 {
+					return fmt.Errorf("unreachable")
+				}
+				return errLow
+			case 60:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: got %v, want error from lowest index", trial, err)
+		}
+	}
+}
+
+func TestForSerialPath(t *testing.T) {
+	// n = 1 exercises the serial fallback, which stops at the first
+	// error (lowest index by construction).
+	want := errors.New("boom")
+	if err := For(1, func(i int) error { return want }); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}
+
+func TestForNWorkerIdentity(t *testing.T) {
+	// Each worker id must be owned by exactly one goroutine, so
+	// unsynchronised per-worker counters indexed by worker id are safe
+	// and their sum accounts for every iteration. Run under -race this
+	// also proves the ownership claim.
+	const n, workers = 500, 4
+	counts := make([]int64, workers)
+	if err := ForN(n, workers, func(worker, i int) error {
+		if worker < 0 || worker >= workers {
+			return fmt.Errorf("worker id %d out of range", worker)
+		}
+		counts[worker]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("worker counts sum to %d, want %d", total, n)
+	}
+}
+
+func TestForNSerialWorkerZero(t *testing.T) {
+	// workers=1 routes everything through worker id 0 on the caller's
+	// goroutine.
+	if err := ForN(10, 1, func(worker, i int) error {
+		if worker != 0 {
+			return fmt.Errorf("serial path got worker %d", worker)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersEnvOverride(t *testing.T) {
+	t.Setenv("SMR_WORKERS", "3")
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d with SMR_WORKERS=3", got)
+	}
+	t.Setenv("SMR_WORKERS", "0") // non-positive: ignored
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d with SMR_WORKERS=0, want >=1", got)
+	}
+	t.Setenv("SMR_WORKERS", "nope") // unparsable: ignored
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d with junk SMR_WORKERS, want >=1", got)
+	}
+}
+
+func TestForHonoursWorkersEnv(t *testing.T) {
+	// With SMR_WORKERS=2 a 100-wide For must still run every index.
+	t.Setenv("SMR_WORKERS", "2")
+	var ran atomic.Int64
+	if err := For(100, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d iterations, want 100", ran.Load())
+	}
+}

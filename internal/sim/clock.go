@@ -76,6 +76,23 @@ func NewClock() *Clock {
 	return &Clock{freeHead: -1}
 }
 
+// Reset returns the clock to time zero with no pending events,
+// retaining the arena slab and heap capacity so a pooled worker can
+// drive consecutive simulations without re-growing either. The slots
+// are zeroed (releasing retained callbacks and labels to the GC) and
+// the free list, sequence and generation counters restart, so a reset
+// clock is observationally identical to a fresh one — including the
+// exact EventRef values it hands out. EventRefs issued before the
+// reset must be dropped by the caller: their slots are recycled, so
+// state queries and Cancel on them are unreliable.
+func (c *Clock) Reset() {
+	c.now, c.seq, c.fired = 0, 0, 0
+	clear(c.slots)
+	c.slots = c.slots[:0]
+	c.heap = c.heap[:0]
+	c.freeHead = -1
+}
+
 // Now returns the current virtual time.
 func (c *Clock) Now() Time { return c.now }
 

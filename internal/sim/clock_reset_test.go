@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+// driveClock runs a fixed schedule/cancel/fire scenario and returns
+// the observable artefacts: every EventRef handed out and the firing
+// order. Used to compare a reset clock against a fresh one.
+func driveClock(c *Clock) (refs []EventRef, order []string) {
+	log := func(tag string) func() { return func() { order = append(order, tag) } }
+	refs = append(refs, c.Schedule(3, "c", log("c")))
+	refs = append(refs, c.Schedule(1, "a", log("a")))
+	refs = append(refs, c.Schedule(2, "b", log("b")))
+	victim := c.Schedule(1.5, "victim", log("victim"))
+	refs = append(refs, victim)
+	c.Cancel(victim)
+	refs = append(refs, c.Schedule(1.5, "d", log("d"))) // recycles victim's slot
+	c.RunUntilIdle(100)
+	return refs, order
+}
+
+func TestClockResetMatchesFresh(t *testing.T) {
+	reused := NewClock()
+	driveClock(reused) // first run grows the arena
+	reused.Reset()
+
+	fresh := NewClock()
+	freshRefs, freshOrder := driveClock(fresh)
+	reusedRefs, reusedOrder := driveClock(reused)
+
+	if len(freshOrder) != len(reusedOrder) {
+		t.Fatalf("firing counts differ: fresh %v, reused %v", freshOrder, reusedOrder)
+	}
+	for i := range freshOrder {
+		if freshOrder[i] != reusedOrder[i] {
+			t.Fatalf("firing order differs at %d: fresh %v, reused %v", i, freshOrder, reusedOrder)
+		}
+	}
+	// The reset clock must hand out the exact same refs as a fresh one:
+	// generations, slot indices and free-list order all restart.
+	for i := range freshRefs {
+		if freshRefs[i] != reusedRefs[i] {
+			t.Fatalf("ref %d differs: fresh %#x, reused %#x", i, int64(freshRefs[i]), int64(reusedRefs[i]))
+		}
+	}
+}
+
+func TestClockResetClearsState(t *testing.T) {
+	c := NewClock()
+	c.Schedule(5, "pending", func() {})
+	c.Schedule(1, "fired", func() {})
+	c.Run(2)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Now = %v after Reset", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d after Reset", c.Pending())
+	}
+	if c.Fired() != 0 {
+		t.Fatalf("Fired = %d after Reset", c.Fired())
+	}
+	// The stale pending event must never fire.
+	c.Schedule(10, "fresh", func() {})
+	if n := c.RunUntilIdle(100); n != 1 {
+		t.Fatalf("fired %d events after Reset, want 1", n)
+	}
+}
+
+func TestClockResetReusesArena(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 64; i++ {
+		c.Schedule(float64(i), "e", func() {})
+	}
+	c.RunUntilIdle(1000)
+	c.Reset()
+	// Scheduling the same population again must not grow the slab.
+	allocs := testing.AllocsPerRun(10, func() {
+		c.Reset()
+		for i := 0; i < 64; i++ {
+			c.Schedule(float64(i), "e", func() {})
+		}
+		c.RunUntilIdle(1000)
+	})
+	if allocs > 0 {
+		t.Fatalf("reset/schedule/run cycle allocated %.1f times, want 0", allocs)
+	}
+}

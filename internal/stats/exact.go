@@ -1,0 +1,167 @@
+// Exact, mergeable accumulators for sharded runs.
+//
+// PR 3 made per-run reductions deterministic by fixing the summation
+// order (mr's sumAscending sorts before adding, so float results do not
+// depend on map iteration order). A sharded fleet needs something
+// stronger: the partition of samples across workers is decided by a
+// work-stealing scheduler, so no *ordering* discipline can make
+// per-shard float sums recombine identically. ExactSum removes the
+// dependence on order altogether by accumulating the mathematically
+// exact sum and rounding exactly once on read — merge of shards equals
+// single sequential accumulation bit-for-bit, for every partition.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// exactPrec is the mantissa precision of the exact accumulator. The
+// sum of finite float64 values spans at most ~2098 bits (from the
+// largest exponent down to the smallest subnormal); the extra headroom
+// absorbs carry growth for up to ~2^100 additions, so every
+// intermediate Add is exact (never rounded).
+const exactPrec = 2200
+
+// ExactSum accumulates float64 values with no rounding error: the
+// running sum is held exactly, so the result of Sum is the true sum
+// correctly rounded once, independent of addition order or of how the
+// values were partitioned across merged shards. The zero value is an
+// empty sum. Inputs must be finite; Add panics on NaN or ±Inf, which
+// in this codebase always indicates an uninitialised sample reaching
+// an accumulator. An ExactSum must not be copied after first use.
+type ExactSum struct {
+	acc *big.Float
+	tmp *big.Float // scratch for Add, reused to avoid per-Add allocation
+}
+
+// Add folds x into the sum exactly.
+func (e *ExactSum) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic(fmt.Sprintf("stats: ExactSum.Add(%v): non-finite sample", x))
+	}
+	if x == 0 {
+		return
+	}
+	if e.acc == nil {
+		e.acc = new(big.Float).SetPrec(exactPrec)
+		e.tmp = new(big.Float)
+	}
+	e.acc.Add(e.acc, e.tmp.SetFloat64(x))
+}
+
+// Merge folds the other sum in exactly. Merging in any order, or
+// merging shards that split the samples any way at all, yields the
+// same exact total.
+func (e *ExactSum) Merge(o *ExactSum) {
+	if o.acc == nil {
+		return
+	}
+	if e.acc == nil {
+		e.acc = new(big.Float).SetPrec(exactPrec)
+		e.tmp = new(big.Float)
+	}
+	e.acc.Add(e.acc, o.acc)
+}
+
+// Sum returns the accumulated total, rounded (to nearest even) exactly
+// once from the exact value. An empty sum is 0.
+func (e *ExactSum) Sum() float64 {
+	if e.acc == nil {
+		return 0
+	}
+	f, _ := e.acc.Float64()
+	return f
+}
+
+// Reset empties the sum, retaining the allocated accumulator.
+func (e *ExactSum) Reset() {
+	if e.acc != nil {
+		e.acc.SetInt64(0).SetPrec(exactPrec)
+	}
+}
+
+// Acc is a mergeable count/sum/min/max accumulator built on ExactSum:
+// the streaming reduction every fleet shard keeps, cheap enough to
+// update per sample and exact under any merge order. The zero value is
+// empty and ready to use; use by pointer, do not copy after first use.
+type Acc struct {
+	n        int
+	sum      ExactSum
+	min, max float64
+}
+
+// Add folds one sample in.
+func (a *Acc) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	a.sum.Add(x)
+}
+
+// Merge folds the other accumulator in. Merge is commutative and
+// associative with bit-exact results: merging shards in any grouping
+// equals accumulating all samples sequentially into one Acc.
+func (a *Acc) Merge(o *Acc) {
+	if o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		a.min, a.max = o.min, o.max
+	} else {
+		if o.min < a.min {
+			a.min = o.min
+		}
+		if o.max > a.max {
+			a.max = o.max
+		}
+	}
+	a.n += o.n
+	a.sum.Merge(&o.sum)
+}
+
+// N returns the sample count.
+func (a *Acc) N() int { return a.n }
+
+// Sum returns the exact sample sum, correctly rounded.
+func (a *Acc) Sum() float64 { return a.sum.Sum() }
+
+// Mean returns the sample mean, or 0 when empty.
+func (a *Acc) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum.Sum() / float64(a.n)
+}
+
+// Min returns the smallest sample, +Inf when empty (matching Min).
+func (a *Acc) Min() float64 {
+	if a.n == 0 {
+		return math.Inf(1)
+	}
+	return a.min
+}
+
+// Max returns the largest sample, −Inf when empty (matching Max).
+func (a *Acc) Max() float64 {
+	if a.n == 0 {
+		return math.Inf(-1)
+	}
+	return a.max
+}
+
+// Reset empties the accumulator, retaining allocations.
+func (a *Acc) Reset() {
+	a.n = 0
+	a.min, a.max = 0, 0
+	a.sum.Reset()
+}

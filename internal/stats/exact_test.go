@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// adversarial returns a sample stream engineered so naive float64
+// summation depends on order: huge/tiny magnitude swings with
+// cancellation, plus a seeded pseudo-random tail. Any accumulator that
+// rounds per-add will disagree with itself across partitions on this
+// input; ExactSum must not.
+func adversarial(n int) []float64 {
+	xs := make([]float64, 0, n)
+	base := []float64{1e16, 1.0, -1e16, 0.1, 3.14159e8, -2.5e-13, 1e300 / 1e280, -7.25}
+	state := uint64(0x9e3779b97f4a7c15)
+	for len(xs) < n {
+		for _, b := range base {
+			// splitmix-style perturbation, deterministic.
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			u := float64(z^(z>>31)) / (1 << 64)
+			xs = append(xs, b*(0.5+u))
+		}
+	}
+	return xs[:n]
+}
+
+func bitsEqual(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: got %v (%#x), want %v (%#x)", name, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func TestExactSumOrderIndependent(t *testing.T) {
+	xs := adversarial(1000)
+	var fwd, rev ExactSum
+	for _, x := range xs {
+		fwd.Add(x)
+	}
+	for i := len(xs) - 1; i >= 0; i-- {
+		rev.Add(xs[i])
+	}
+	bitsEqual(t, "forward vs reverse", fwd.Sum(), rev.Sum())
+
+	// And the naive float64 sum *does* differ on this stream, or the
+	// test would prove nothing.
+	f, r := 0.0, 0.0
+	for _, x := range xs {
+		f += x
+	}
+	for i := len(xs) - 1; i >= 0; i-- {
+		r += xs[i]
+	}
+	if math.Float64bits(f) == math.Float64bits(r) {
+		t.Fatalf("adversarial stream is not adversarial: naive sums agree (%v)", f)
+	}
+}
+
+func TestExactSumMergeEqualsSequential(t *testing.T) {
+	xs := adversarial(999)
+	var seq ExactSum
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	// Every contiguous 3-way partition must recombine bit-identically,
+	// in both merge orders (commutativity) and groupings
+	// (associativity).
+	for _, cut := range [][2]int{{1, 2}, {100, 500}, {333, 666}, {0, 999}, {999, 999}} {
+		a, b, c := xs[:cut[0]], xs[cut[0]:cut[1]], xs[cut[1]:]
+		sum := func(part []float64) *ExactSum {
+			var e ExactSum
+			for _, x := range part {
+				e.Add(x)
+			}
+			return &e
+		}
+		// ((a+b)+c)
+		m1 := sum(a)
+		m1.Merge(sum(b))
+		m1.Merge(sum(c))
+		// (a+(b+c))
+		m2 := sum(b)
+		m2.Merge(sum(c))
+		m3 := sum(a)
+		m3.Merge(m2)
+		// (c+b)+a — commuted
+		m4 := sum(c)
+		m4.Merge(sum(b))
+		m4.Merge(sum(a))
+		bitsEqual(t, "left-assoc merge vs sequential", m1.Sum(), seq.Sum())
+		bitsEqual(t, "right-assoc merge vs sequential", m3.Sum(), seq.Sum())
+		bitsEqual(t, "commuted merge vs sequential", m4.Sum(), seq.Sum())
+	}
+}
+
+func TestExactSumZeroAndEmpty(t *testing.T) {
+	var e ExactSum
+	if e.Sum() != 0 {
+		t.Fatalf("empty sum = %v", e.Sum())
+	}
+	var o ExactSum
+	e.Merge(&o) // merging two empties stays empty
+	if e.Sum() != 0 {
+		t.Fatalf("merged empty sum = %v", e.Sum())
+	}
+	e.Add(0)
+	if e.Sum() != 0 {
+		t.Fatalf("sum of zero = %v", e.Sum())
+	}
+	e.Add(2.5)
+	e.Reset()
+	if e.Sum() != 0 {
+		t.Fatalf("after Reset sum = %v", e.Sum())
+	}
+	e.Add(1.25)
+	bitsEqual(t, "reuse after Reset", e.Sum(), 1.25)
+}
+
+func TestExactSumPanicsOnNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Add(%v) did not panic", bad)
+				}
+			}()
+			var e ExactSum
+			e.Add(bad)
+		}()
+	}
+}
+
+func TestAccMergeEqualsSequential(t *testing.T) {
+	xs := adversarial(500)
+	var seq Acc
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	shards := make([]*Acc, 7)
+	for i := range shards {
+		shards[i] = &Acc{}
+	}
+	for i, x := range xs {
+		shards[i%7].Add(x)
+	}
+	// Merge in a scrambled order to exercise commutativity.
+	var m Acc
+	for _, i := range []int{4, 0, 6, 2, 5, 1, 3} {
+		m.Merge(shards[i])
+	}
+	if m.N() != seq.N() {
+		t.Fatalf("N = %d, want %d", m.N(), seq.N())
+	}
+	bitsEqual(t, "Sum", m.Sum(), seq.Sum())
+	bitsEqual(t, "Mean", m.Mean(), seq.Mean())
+	bitsEqual(t, "Min", m.Min(), seq.Min())
+	bitsEqual(t, "Max", m.Max(), seq.Max())
+}
+
+func TestAccEmptyAndReset(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Sum() != 0 || a.Mean() != 0 {
+		t.Fatalf("zero Acc not empty: %d %v %v", a.N(), a.Sum(), a.Mean())
+	}
+	if !math.IsInf(a.Min(), 1) || !math.IsInf(a.Max(), -1) {
+		t.Fatalf("empty Min/Max = %v/%v, want +Inf/-Inf", a.Min(), a.Max())
+	}
+	var b Acc
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 {
+		t.Fatal("merge of empties not empty")
+	}
+	b.Add(3)
+	a.Merge(&b) // non-empty into empty adopts min/max
+	if a.N() != 1 || a.Min() != 3 || a.Max() != 3 {
+		t.Fatalf("merge into empty: n=%d min=%v max=%v", a.N(), a.Min(), a.Max())
+	}
+	var c Acc
+	a.Merge(&c) // empty into non-empty is a no-op
+	if a.N() != 1 {
+		t.Fatal("merge of empty changed n")
+	}
+	a.Reset()
+	if a.N() != 0 || a.Sum() != 0 {
+		t.Fatalf("after Reset: n=%d sum=%v", a.N(), a.Sum())
+	}
+}
+
+func TestHistogramMergeEqualsSequential(t *testing.T) {
+	xs := adversarial(800)
+	// Scale samples into a modest range plus deliberate under/overflow.
+	for i := range xs {
+		xs[i] = math.Mod(math.Abs(xs[i]), 150) - 10 // spills below 0 and above 100
+	}
+	seq := NewHistogram(0, 100, 20)
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	parts := []*Histogram{NewHistogram(0, 100, 20), NewHistogram(0, 100, 20), NewHistogram(0, 100, 20)}
+	for i, x := range xs {
+		parts[i%3].Add(x)
+	}
+	m := NewHistogram(0, 100, 20)
+	for _, i := range []int{2, 0, 1} {
+		m.Merge(parts[i])
+	}
+	if m.N() != seq.N() {
+		t.Fatalf("N = %d, want %d", m.N(), seq.N())
+	}
+	for i := 0; i < 20; i++ {
+		if m.Bucket(i) != seq.Bucket(i) {
+			t.Fatalf("bucket %d = %d, want %d", i, m.Bucket(i), seq.Bucket(i))
+		}
+	}
+	bitsEqual(t, "Mean", m.Mean(), seq.Mean())
+	bitsEqual(t, "Min", m.Min(), seq.Min())
+	bitsEqual(t, "Max", m.Max(), seq.Max())
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		bitsEqual(t, "Quantile", m.Quantile(q), seq.Quantile(q))
+	}
+	if m.String() != seq.String() {
+		t.Fatalf("String mismatch:\n%s\n%s", m.String(), seq.String())
+	}
+}
+
+func TestHistogramMergeGeometryMismatchPanics(t *testing.T) {
+	cases := []*Histogram{
+		NewHistogram(0, 99, 20),  // different hi
+		NewHistogram(1, 100, 20), // different lo
+		NewHistogram(0, 100, 21), // different buckets
+	}
+	for i, o := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: mismatched Merge did not panic", i)
+				}
+			}()
+			NewHistogram(0, 100, 20).Merge(o)
+		}()
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	xs := adversarial(600)
+	var seq Welford
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	var a, b Welford
+	for i, x := range xs {
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != seq.N() {
+		t.Fatalf("N = %d, want %d", a.N(), seq.N())
+	}
+	// Chan et al. is exact in real arithmetic but not bit-exact in
+	// floats; compare with a tight relative tolerance.
+	relClose := func(name string, got, want float64) {
+		t.Helper()
+		scale := math.Max(math.Abs(want), 1)
+		if math.Abs(got-want) > 1e-9*scale {
+			t.Fatalf("%s: got %v, want %v", name, got, want)
+		}
+	}
+	relClose("Mean", a.Mean(), seq.Mean())
+	relClose("Variance", a.Variance(), seq.Variance())
+
+	// Empty-merge edge cases.
+	var e1, e2 Welford
+	e1.Merge(&e2)
+	if e1.N() != 0 {
+		t.Fatal("merge of empties not empty")
+	}
+	e1.Merge(&seq)
+	if e1.N() != seq.N() || e1.Mean() != seq.Mean() {
+		t.Fatal("merge into empty did not adopt state")
+	}
+	before := e1.N()
+	e1.Merge(&e2)
+	if e1.N() != before {
+		t.Fatal("merge of empty changed state")
+	}
+}

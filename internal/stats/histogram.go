@@ -9,14 +9,17 @@ import (
 // Histogram accumulates samples into fixed-width buckets over a range
 // chosen at construction, with open-ended under/overflow buckets. It
 // renders compactly for terminal reports (job latency distributions,
-// task durations).
+// task durations). Histograms of identical geometry merge exactly
+// (bucket counts are integers and the sum is an ExactSum), so sharded
+// accumulation recombines bit-identically to sequential accumulation.
+// Samples must be finite; Add panics on NaN/±Inf via ExactSum.
 type Histogram struct {
 	lo, hi  float64
 	buckets []int
 	under   int
 	over    int
 	n       int
-	sum     float64
+	sum     ExactSum
 	min     float64
 	max     float64
 }
@@ -39,7 +42,7 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 // Add folds one sample in.
 func (h *Histogram) Add(x float64) {
 	h.n++
-	h.sum += x
+	h.sum.Add(x)
 	h.min = math.Min(h.min, x)
 	h.max = math.Max(h.max, x)
 	switch {
@@ -64,7 +67,27 @@ func (h *Histogram) Mean() float64 {
 	if h.n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return h.sum.Sum() / float64(h.n)
+}
+
+// Merge folds the other histogram in. Both must have identical
+// geometry (range and bucket count); Merge panics otherwise, because
+// resampling between geometries would silently blur the distribution.
+// Merge is commutative and associative with bit-exact results.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.lo != h.lo || o.hi != h.hi || len(o.buckets) != len(h.buckets) {
+		panic(fmt.Sprintf("stats: Merge of mismatched histograms [%v,%v)x%d vs [%v,%v)x%d",
+			h.lo, h.hi, len(h.buckets), o.lo, o.hi, len(o.buckets)))
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.n += o.n
+	h.sum.Merge(&o.sum)
+	h.min = math.Min(h.min, o.min)
+	h.max = math.Max(h.max, o.max)
 }
 
 // Min returns the smallest sample (+Inf when empty).

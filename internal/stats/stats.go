@@ -157,6 +157,27 @@ func (w *Welford) Variance() float64 {
 // StdDev returns the population standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
+// Merge folds the other accumulator in using the parallel-variance
+// combination of Chan, Golub & LeVeque. Unlike Acc and Histogram the
+// result is not bit-identical to sequential accumulation (the running
+// mean is inherently order-dependent in float arithmetic); it is the
+// statistically exact combination up to rounding, which is why the
+// fleet's byte-compared outputs are built on Acc/Histogram instead.
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
 // Clamp bounds x to [lo, hi].
 func Clamp(x, lo, hi float64) float64 {
 	if x < lo {

@@ -104,6 +104,15 @@ func (s *Series) Points() []metrics.Point {
 	return out
 }
 
+// reset empties the series for reuse under a new name, keeping the
+// ring buffer. Stale samples beyond the (now zero) length are
+// unreachable through the accessors, so they are left in place.
+func (s *Series) reset(name string) {
+	s.name = name
+	s.head, s.n, s.dropped = 0, 0, 0
+	s.lastT, s.primed = 0, false
+}
+
 // probe pairs a registered series with the closure that samples it.
 type probe struct {
 	s  *Series
@@ -127,6 +136,7 @@ type Collector struct {
 	byName   map[string]*Series
 	times    *Series // tick instants, for late-registration backfill
 	ticks    int
+	free     []*Series // retired rings recycled by Register after Reset
 }
 
 // NewCollector returns an empty collector whose series each retain up
@@ -152,13 +162,40 @@ func (c *Collector) Register(name string, fn func() float64) *Series {
 	if _, dup := c.byName[name]; dup {
 		panic(fmt.Sprintf("telemetry: duplicate series %q", name))
 	}
-	s := NewSeries(name, c.capacity)
+	var s *Series
+	if n := len(c.free); n > 0 {
+		s = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		s.reset(name)
+	} else {
+		s = NewSeries(name, c.capacity)
+	}
 	for i := 0; i < c.times.Len(); i++ {
 		s.Append(c.times.At(i).T, math.NaN())
 	}
 	c.byName[name] = s
 	c.probes = append(c.probes, probe{s: s, fn: fn})
 	return s
+}
+
+// Reset discards every registered probe and all retained samples so a
+// pooled worker can recycle the collector across consecutive runs. The
+// probe closures are dropped (they close over the previous run's
+// cluster), but their ring buffers move to a free list that Register
+// consumes, so a reset-and-re-register cycle performs no large
+// allocations. A reset collector is observationally identical to a
+// fresh NewCollector with the same capacity.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.probes {
+		c.free = append(c.free, p.s)
+	}
+	c.probes = c.probes[:0]
+	clear(c.byName)
+	c.times.reset("t")
+	c.ticks = 0
 }
 
 // Tick samples every registered probe at virtual time now.

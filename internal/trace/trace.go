@@ -161,6 +161,33 @@ func New(opt Options) *Tracer {
 	return &Tracer{opt: opt, freeSpan: -1, lanes: make(map[int]*laneSet)}
 }
 
+// Reset discards all recorded events, track metadata, open spans and
+// lane assignments while retaining every backing allocation, so a
+// pooled worker can recycle the tracer across consecutive runs. Span
+// generations restart, making a reset tracer observationally identical
+// to a fresh one — including the exact SpanRef values it hands out.
+// SpanRefs issued before the reset must be dropped by the caller. A
+// nil tracer no-ops, like every other method.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.events)
+	t.events = t.events[:0]
+	clear(t.meta)
+	t.meta = t.meta[:0]
+	t.dropped = 0
+	clear(t.spans)
+	t.spans = t.spans[:0]
+	t.freeSpan = -1
+	for _, ls := range t.lanes {
+		ls.used = ls.used[:0]
+	}
+	t.began = 0
+}
+
 // Enabled reports whether the tracer records anything. Guard argument
 // construction (fmt, Field building) behind it on hot paths.
 func (t *Tracer) Enabled() bool { return t != nil }
