@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-fleet trace-smoke clean
+.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-fleet bench-tenant trace-smoke clean
 
 all: check
 
@@ -64,6 +64,14 @@ bench-alloc:
 bench-fleet:
 	$(GO) test -run 'FleetDeterminism' ./internal/fleet/
 	$(GO) run ./cmd/smrbench -fleetjson
+
+# bench-tenant regenerates BENCH_tenant.json (the multi-tenant
+# capacity-policy shoot-out: every engine replays identical open
+# arrival streams at three offered loads), after pinning open-arrival
+# determinism across fleet worker counts as a gate.
+bench-tenant:
+	$(GO) test -run 'FleetDeterminismOpenArrivals|ShootoutDeterministic' ./internal/fleet/ ./internal/experiments/
+	$(GO) run ./cmd/smrbench -tenantjson
 
 # trace-smoke proves the observability pipeline end to end: a traced
 # default run must produce a valid Chrome trace (tracecheck) and a

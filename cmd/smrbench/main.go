@@ -57,6 +57,7 @@ func main() {
 	benchJSON := flag.Bool("benchjson", false, "time the fluid-rate resolver (figure macro-runs and netsim churn) and write BENCH_fluid.json instead of running figures")
 	memJSON := flag.Bool("memjson", false, "measure heap behaviour (allocs/op, bytes/op, GC cycles) of the figure macro-runs and the netsim churn loop, write BENCH_alloc.json instead of running figures")
 	fleetJSON := flag.Bool("fleetjson", false, "time a 256-cluster fleet at worker counts 1,2,4,… and write the scaling curve to BENCH_fleet.json instead of running figures")
+	tenantJSON := flag.Bool("tenantjson", false, "run the multi-tenant capacity shoot-out (every engine × offered loads on identical open arrival streams) and write BENCH_tenant.json instead of running figures")
 	telemPath := flag.String("telemetry", "", "capture a seeded SMapReduce histogram-ratings run, write its telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline instead of running figures")
 	tracePath := flag.String("trace", "", "capture a seeded SMapReduce histogram-ratings run and write its Chrome trace-event JSON to this file (combinable with -telemetry) instead of running figures")
 	flag.Var(&figs, "fig", "figure number to run (repeatable; default: all)")
@@ -91,6 +92,14 @@ func main() {
 
 	if *fleetJSON {
 		if err := writeFleetJSON(*seed, "BENCH_fleet.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tenantJSON {
+		if err := writeTenantJSON(cfg, "BENCH_tenant.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -310,6 +319,13 @@ func main() {
 				}
 				return r.Table(), nil
 			}},
+			{"multitenant", func() (*metrics.Table, error) {
+				r, err := experiments.MultiTenantShootout(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}},
 		}
 		for _, e := range extraRuns {
 			start := time.Now()
@@ -365,6 +381,65 @@ func captureTelemetry(cfg experiments.Config, telemPath, tracePath string) error
 	}
 	fmt.Println()
 	fmt.Print(experiments.TimelineChart(col))
+	return nil
+}
+
+// tenantRow is one (engine, load) cell of the shoot-out as written to
+// BENCH_tenant.json.
+type tenantRow struct {
+	Engine    string  `json:"engine"`
+	Load      float64 `json:"load"`
+	Jobs      int     `json:"jobs"`
+	Makespan  float64 `json:"makespan_s"`
+	P50       float64 `json:"p50_s"`
+	P99       float64 `json:"p99_s"`
+	SLOMisses int     `json:"slo_misses"`
+}
+
+type tenantReport struct {
+	Command string      `json:"command"`
+	Scale   float64     `json:"scale"`
+	Workers int         `json:"workers"`
+	Seed    uint64      `json:"seed"`
+	Rows    []tenantRow `json:"rows"`
+}
+
+// writeTenantJSON runs the multi-tenant capacity-policy shoot-out —
+// every engine replays the identical open arrival stream at each
+// offered-load multiplier — prints the table and writes the rows to
+// BENCH_tenant.json.
+func writeTenantJSON(cfg experiments.Config, path string) error {
+	r, err := experiments.MultiTenantShootout(cfg)
+	if err != nil {
+		return err
+	}
+	report := tenantReport{
+		Command: "smrbench -tenantjson",
+		Scale:   cfg.Scale,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+		Rows:    make([]tenantRow, len(r.Rows)),
+	}
+	for i, row := range r.Rows {
+		report.Rows[i] = tenantRow{
+			Engine:    row.Engine.String(),
+			Load:      row.Load,
+			Jobs:      row.Jobs,
+			Makespan:  row.Makespan,
+			P50:       row.P50,
+			P99:       row.P99,
+			SLOMisses: row.SLOMisses,
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Print(r.Table().String())
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

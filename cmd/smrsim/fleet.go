@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"smapreduce/internal/arrival"
+	"smapreduce/internal/cli"
 	"smapreduce/internal/core"
 	"smapreduce/internal/fleet"
 	"smapreduce/internal/mr"
@@ -15,7 +17,7 @@ import (
 // fleet-level statistics instead of a per-job timeline. Each cluster
 // gets its own seed derived from -seed, so the fleet is reproducible
 // and worker-count independent.
-func runFleet(n, workers int, engine core.Engine, cluster mr.Config, specs []mr.JobSpec, mix bool, seed uint64) {
+func runFleet(n, workers int, engine core.Engine, cluster mr.Config, specs []mr.JobSpec, arrCfg *arrival.Config, mix bool, seed uint64) {
 	cfg := fleet.Config{
 		Clusters: n,
 		Workers:  workers,
@@ -23,7 +25,24 @@ func runFleet(n, workers int, engine core.Engine, cluster mr.Config, specs []mr.
 		Engine:   engine,
 		Cluster:  cluster,
 	}
-	if !mix {
+	switch {
+	case arrCfg != nil:
+		// Every cluster replays its own seed-derived open arrival
+		// stream; the one policy instance is shared across workers
+		// (policies are pure, so sharing cannot perturb determinism).
+		capPolicy, err := cli.BuildCapacityPolicy(engine, cli.PolicyTenants(*arrCfg))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Capacity = capPolicy
+		cfg.Arrivals = func(_ int, rng *sim.Rand) mr.ArrivalSource {
+			src, err := arrival.New(*arrCfg, rng)
+			if err != nil {
+				panic(err) // validated at flag parse; cannot fail here
+			}
+			return src
+		}
+	case !mix:
 		// Same workload in every cluster; only the seed varies. The
 		// slice is shared read-only across workers (specs are copied by
 		// value into jobs).

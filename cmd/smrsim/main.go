@@ -14,18 +14,23 @@
 //	smrsim -bench terasort -serve :8080 -telemetry run.csv
 //	smrsim -fleet 1024 -fleet-workers 8 -bench grep -input-gb 1
 //	smrsim -fleet 256 -fleet-mix -seed 7
+//	smrsim -engine fairshare -arrive examples/multitenant/arrivals.json
+//	smrsim -engine capacityqueue -arrive '{"horizon":600,"tenants":[...]}' -explain
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"smapreduce/internal/arrival"
 	"smapreduce/internal/chaos"
 	"smapreduce/internal/cli"
 	"smapreduce/internal/core"
 	"smapreduce/internal/experiments"
 	"smapreduce/internal/mr"
+	"smapreduce/internal/policy"
 	"smapreduce/internal/puma"
 	"smapreduce/internal/telemetry"
 	"smapreduce/internal/trace"
@@ -33,7 +38,7 @@ import (
 
 func main() {
 	var (
-		engineName  = flag.String("engine", "smapreduce", "engine: hadoopv1 | yarn | smapreduce")
+		engineName  = flag.String("engine", "smapreduce", "engine: hadoopv1 | yarn | smapreduce | fairshare | capacityqueue | gametheoretic")
 		bench       = flag.String("bench", "histogram-ratings", "PUMA benchmark (see -list)")
 		inputGB     = flag.Float64("input-gb", 100, "input size per job in GB")
 		reduces     = flag.Int("reduces", 30, "reduce tasks per job")
@@ -54,6 +59,7 @@ func main() {
 		failAt      = flag.Float64("fail-at", 0, "kill tracker -fail-id at this virtual second (0 = no failure)")
 		failID      = flag.Int("fail-id", 0, "tracker to kill when -fail-at is set")
 		chaosSpec   = flag.String("chaos", "", "fault schedule: a file path or an inline spec, e.g. 'crash tt3 @20; rejoin tt3 @60' (kinds: crash, rejoin, hbloss, slow, link)")
+		arriveSpec  = flag.String("arrive", "", "open multi-tenant arrival stream: a JSON file path or inline JSON (see examples/multitenant/arrivals.json); replaces -bench/-jobs/-stagger")
 		slowNodes   = flag.Int("slow-nodes", 0, "make the last N nodes half-speed (heterogeneous cluster)")
 		eventsPath  = flag.String("events", "", "write the structured runtime event log (JSONL) to this file")
 		telemPath   = flag.String("telemetry", "", "write the sampled telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline")
@@ -89,13 +95,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	specs, err := cli.BuildJobs(*bench, *inputGB, *reduces, *jobs, *stagger)
-	if err != nil {
-		fatal(err)
+	var arrCfg *arrival.Config
+	if *arriveSpec != "" {
+		acfg, err := cli.BuildArrivals(*arriveSpec)
+		if err != nil {
+			fatal(err)
+		}
+		arrCfg = &acfg
+	}
+	var specs []mr.JobSpec
+	if arrCfg == nil {
+		specs, err = cli.BuildJobs(*bench, *inputGB, *reduces, *jobs, *stagger)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	if *fleetN > 0 {
-		runFleet(*fleetN, *fleetWk, engine, cluster, specs, *fleetMix, *seed)
+		runFleet(*fleetN, *fleetWk, engine, cluster, specs, arrCfg, *fleetMix, *seed)
 		return
 	}
 
@@ -106,10 +123,26 @@ func main() {
 		cluster.Policy = mr.YARN
 	case core.EngineSMapReduce:
 		cluster.Policy = mr.Dynamic
+	case core.EngineFairShare, core.EngineCapacityQueue, core.EngineGameTheoretic:
+		// Capacity engines layer per-tenant caps over static V1 slots.
+		cluster.Policy = mr.HadoopV1
+	}
+	var tenants []policy.Tenant
+	if arrCfg != nil {
+		tenants = cli.PolicyTenants(*arrCfg)
+	}
+	capPolicy, err := cli.BuildCapacityPolicy(engine, tenants)
+	if err != nil {
+		fatal(err)
 	}
 	c, err := mr.NewCluster(cluster)
 	if err != nil {
 		fatal(err)
+	}
+	if capPolicy != nil {
+		if err := c.SetCapacityPolicy(capPolicy); err != nil {
+			fatal(err)
+		}
 	}
 	if *traceLog {
 		c.Trace = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
@@ -171,9 +204,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "smrsim: serving /metrics /trace /healthz /debug/pprof on %s\n", srv.Addr())
 	}
 
-	ran, err := c.Run(specs...)
-	if err != nil {
-		fatal(err)
+	var ran []*mr.Job
+	if arrCfg != nil {
+		src, err := arrival.New(*arrCfg, arrival.RNG(cluster.Seed))
+		if err != nil {
+			fatal(err)
+		}
+		ran, err = c.RunArrivals(src)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		ran, err = c.Run(specs...)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if srv != nil {
 		srv.MarkDone()
@@ -229,6 +274,18 @@ func main() {
 	if len(ran) > 1 {
 		fmt.Printf("mean exec: %.1f s   last finish: %.1f s\n", meanSum/float64(len(ran)), last)
 	}
+	if arrCfg != nil || capPolicy != nil {
+		printTenantSummary(ran)
+	}
+	if capPolicy != nil {
+		decs := c.CapacityDecisions()
+		fmt.Printf("\ncapacity decisions: %d rebalances\n", len(decs))
+		if *explain {
+			for _, d := range decs {
+				fmt.Printf("  %s\n", d)
+			}
+		}
+	}
 	if mgr != nil && len(mgr.Decisions()) > 0 {
 		fmt.Println("\nslot manager decisions:")
 		for _, d := range mgr.Decisions() {
@@ -265,6 +322,43 @@ func main() {
 	if srv != nil {
 		fmt.Fprintf(os.Stderr, "smrsim: run finished; still serving on %s (Ctrl-C to exit)\n", srv.Addr())
 		srv.Wait()
+	}
+}
+
+// printTenantSummary aggregates the per-job timeline by tenant: job
+// count, mean execution time, worst latency and SLO misses.
+func printTenantSummary(ran []*mr.Job) {
+	type agg struct {
+		jobs   int
+		sum    float64
+		worst  float64
+		misses int
+	}
+	byTenant := make(map[string]*agg)
+	var names []string
+	for _, j := range ran {
+		name := j.Tenant()
+		a := byTenant[name]
+		if a == nil {
+			a = &agg{}
+			byTenant[name] = a
+			names = append(names, name)
+		}
+		a.jobs++
+		a.sum += j.ExecutionTime()
+		if j.ExecutionTime() > a.worst {
+			a.worst = j.ExecutionTime()
+		}
+		if j.SLOMissed() {
+			a.misses++
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-16s %6s %12s %12s %10s\n", "tenant", "jobs", "mean exec s", "worst exec s", "SLO miss")
+	for _, name := range names {
+		a := byTenant[name]
+		fmt.Printf("%-16s %6d %12.1f %12.1f %10d\n",
+			name, a.jobs, a.sum/float64(a.jobs), a.worst, a.misses)
 	}
 }
 

@@ -5,10 +5,13 @@ package cli
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
+	"smapreduce/internal/arrival"
 	"smapreduce/internal/core"
 	"smapreduce/internal/mr"
+	"smapreduce/internal/policy"
 	"smapreduce/internal/puma"
 	"smapreduce/internal/resource"
 )
@@ -22,8 +25,66 @@ func ParseEngine(name string) (core.Engine, error) {
 		return core.EngineYARN, nil
 	case "smapreduce", "smr":
 		return core.EngineSMapReduce, nil
+	case "fairshare", "fair-share":
+		return core.EngineFairShare, nil
+	case "capacityqueue", "capacity-queue", "capqueue":
+		return core.EngineCapacityQueue, nil
+	case "gametheoretic", "game-theoretic", "game":
+		return core.EngineGameTheoretic, nil
 	default:
-		return 0, fmt.Errorf("unknown engine %q (hadoopv1 | yarn | smapreduce)", name)
+		return 0, fmt.Errorf("unknown engine %q (hadoopv1 | yarn | smapreduce | fairshare | capacityqueue | gametheoretic)", name)
+	}
+}
+
+// BuildArrivals parses an open-arrival configuration: the argument is
+// a file path when one is readable, otherwise inline JSON (mirroring
+// the -chaos flag's convention).
+func BuildArrivals(spec string) (arrival.Config, error) {
+	data := []byte(spec)
+	if b, err := os.ReadFile(spec); err == nil {
+		data = b
+	}
+	cfg, err := arrival.ParseConfig(data)
+	if err != nil {
+		return arrival.Config{}, fmt.Errorf("arrival config %q: %w", spec, err)
+	}
+	return cfg, nil
+}
+
+// PolicyTenants derives the capacity-policy tenant list from an
+// arrival configuration: names carry over, Priority becomes the
+// fair-share weight (minimum 1), and capacity-queue guarantees split
+// the cluster evenly across the declared tenants.
+func PolicyTenants(cfg arrival.Config) []policy.Tenant {
+	out := make([]policy.Tenant, len(cfg.Tenants))
+	for i, t := range cfg.Tenants {
+		w := float64(t.Priority)
+		if w < 1 {
+			w = 1
+		}
+		out[i] = policy.Tenant{
+			Name:      t.Name,
+			Weight:    w,
+			Guarantee: 1 / float64(len(cfg.Tenants)),
+		}
+	}
+	return out
+}
+
+// BuildCapacityPolicy returns the allocator implied by a capacity
+// engine, configured for the given tenants, or nil for the paper's
+// slot engines (which run without per-tenant caps).
+func BuildCapacityPolicy(engine core.Engine, tenants []policy.Tenant) (mr.CapacityPolicy, error) {
+	opts := policy.Options{Tenants: tenants}
+	switch engine {
+	case core.EngineFairShare:
+		return policy.NewFairShare(opts)
+	case core.EngineCapacityQueue:
+		return policy.NewCapacityQueue(opts)
+	case core.EngineGameTheoretic:
+		return policy.NewGameTheoretic(opts)
+	default:
+		return nil, nil
 	}
 }
 

@@ -24,6 +24,69 @@ func TestParseEngine(t *testing.T) {
 	}
 }
 
+func TestParseEngineCapacityNames(t *testing.T) {
+	cases := map[string]core.Engine{
+		"fairshare": core.EngineFairShare, "fair-share": core.EngineFairShare,
+		"capacityqueue": core.EngineCapacityQueue, "capqueue": core.EngineCapacityQueue,
+		"GameTheoretic": core.EngineGameTheoretic, "game": core.EngineGameTheoretic,
+	}
+	for in, want := range cases {
+		got, err := ParseEngine(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseEngine(%q) = %v, %v", in, got, err)
+		}
+	}
+}
+
+func TestBuildArrivalsInlineAndErrors(t *testing.T) {
+	cfg, err := BuildArrivals(`{"horizon": 600, "tenants": [
+		{"name": "a", "benchmarks": ["grep"], "mean_interarrival": 60,
+		 "input_mb_min": 100, "input_mb_max": 200, "reduces": 4, "priority": 3}]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Horizon != 600 || len(cfg.Tenants) != 1 || cfg.Tenants[0].Name != "a" {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+	if _, err := BuildArrivals("/no/such/file.json"); err == nil {
+		t.Fatal("unreadable path accepted as valid JSON")
+	}
+	if _, err := BuildArrivals(`{"tenants": []}`); err == nil {
+		t.Fatal("empty tenant list accepted")
+	}
+}
+
+func TestPolicyTenantsFromArrivals(t *testing.T) {
+	cfg, err := BuildArrivals(`{"horizon": 600, "tenants": [
+		{"name": "a", "benchmarks": ["grep"], "mean_interarrival": 60,
+		 "input_mb_min": 100, "input_mb_max": 200, "reduces": 4, "priority": 3},
+		{"name": "b", "benchmarks": ["terasort"], "mean_interarrival": 60,
+		 "input_mb_min": 100, "input_mb_max": 200, "reduces": 4}]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := PolicyTenants(cfg)
+	if len(ts) != 2 {
+		t.Fatalf("tenants = %d", len(ts))
+	}
+	if ts[0].Weight != 3 || ts[1].Weight != 1 {
+		t.Fatalf("priority->weight mapping wrong: %+v", ts)
+	}
+	if ts[0].Guarantee != 0.5 || ts[1].Guarantee != 0.5 {
+		t.Fatalf("guarantees not split evenly: %+v", ts)
+	}
+	// The derived list must construct every capacity policy.
+	for _, engine := range core.CapacityEngines() {
+		p, err := BuildCapacityPolicy(engine, ts)
+		if err != nil || p == nil {
+			t.Fatalf("BuildCapacityPolicy(%v) = %v, %v", engine, p, err)
+		}
+	}
+	if p, err := BuildCapacityPolicy(core.EngineSMapReduce, ts); err != nil || p != nil {
+		t.Fatalf("slot engine should get no capacity policy, got %v, %v", p, err)
+	}
+}
+
 func TestParseScheduler(t *testing.T) {
 	if k, err := ParseScheduler("FIFO"); err != nil || k != mr.FIFO {
 		t.Fatalf("fifo: %v %v", k, err)

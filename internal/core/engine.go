@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smapreduce/internal/mr"
+	"smapreduce/internal/policy"
 	"smapreduce/internal/stats"
 	"smapreduce/internal/telemetry"
 	"smapreduce/internal/trace"
@@ -19,6 +20,15 @@ const (
 	EngineYARN
 	// EngineSMapReduce is HadoopV1 plus the dynamic slot manager.
 	EngineSMapReduce
+	// EngineFairShare is HadoopV1 slots plus the weighted fair-share
+	// capacity policy dividing task capacity among tenants.
+	EngineFairShare
+	// EngineCapacityQueue is HadoopV1 slots plus capacity queues:
+	// per-tenant guarantees with elastic lending.
+	EngineCapacityQueue
+	// EngineGameTheoretic is HadoopV1 slots plus the per-control-period
+	// proportional-fairness (Nash bargaining) allocator.
+	EngineGameTheoretic
 )
 
 func (e Engine) String() string {
@@ -29,6 +39,12 @@ func (e Engine) String() string {
 		return "YARN"
 	case EngineSMapReduce:
 		return "SMapReduce"
+	case EngineFairShare:
+		return "FairShare"
+	case EngineCapacityQueue:
+		return "CapacityQueue"
+	case EngineGameTheoretic:
+		return "GameTheoretic"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -36,6 +52,12 @@ func (e Engine) String() string {
 // Engines lists the three systems in the order the paper plots them.
 func Engines() []Engine {
 	return []Engine{EngineHadoopV1, EngineYARN, EngineSMapReduce}
+}
+
+// CapacityEngines lists the multi-tenant capacity engines in shoot-out
+// order.
+func CapacityEngines() []Engine {
+	return []Engine{EngineFairShare, EngineCapacityQueue, EngineGameTheoretic}
 }
 
 // Options configures a Run.
@@ -62,6 +84,18 @@ type Options struct {
 	// Events, when true, attaches the structured event log; it is
 	// returned on Result.Events.
 	Events bool
+	// Capacity attaches a multi-tenant capacity policy to the run. The
+	// capacity engines build their own policy when this is nil; for the
+	// other engines nil means no capacity management (the legacy
+	// single-tenant behaviour).
+	Capacity mr.CapacityPolicy
+	// Tenants configures per-tenant weights and guarantees for the
+	// policies the capacity engines build. Ignored when Capacity is set.
+	Tenants []policy.Tenant
+	// Arrivals, when non-nil, replaces the fixed spec list with an open
+	// arrival process: jobs are pulled from the source as virtual time
+	// advances. Run must then be called with no specs.
+	Arrivals mr.ArrivalSource
 }
 
 // Result is the outcome of running a workload on one engine.
@@ -81,6 +115,9 @@ type Result struct {
 	// the cluster's substrate is recycled by the *next* run on that
 	// SimState — finish reading before starting another run.
 	Cluster *mr.Cluster
+	// Capacity is the applied capacity decision log, non-empty when a
+	// capacity policy was attached.
+	Capacity []mr.CapacityDecision
 }
 
 // Run executes the given jobs on the chosen engine and returns the
@@ -90,6 +127,7 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 	if cfg.Workers == 0 { // zero value: adopt defaults
 		cfg = mr.DefaultConfig()
 	}
+	capacity := opts.Capacity
 	switch engine {
 	case EngineHadoopV1:
 		cfg.Policy = mr.HadoopV1
@@ -97,6 +135,26 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 		cfg.Policy = mr.YARN
 	case EngineSMapReduce:
 		cfg.Policy = mr.Dynamic
+	case EngineFairShare, EngineCapacityQueue, EngineGameTheoretic:
+		// Capacity engines divide tenant caps on top of static slots, so
+		// the shoot-out isolates the allocation policy from the slot
+		// mechanics.
+		cfg.Policy = mr.HadoopV1
+		if capacity == nil {
+			var err error
+			popts := policy.Options{Tenants: opts.Tenants}
+			switch engine {
+			case EngineFairShare:
+				capacity, err = policy.NewFairShare(popts)
+			case EngineCapacityQueue:
+				capacity, err = policy.NewCapacityQueue(popts)
+			default:
+				capacity, err = policy.NewGameTheoretic(popts)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown engine %v", engine)
 	}
@@ -110,6 +168,11 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 	res := &Result{Engine: engine, Cluster: c}
 	if opts.Events {
 		res.Events = c.EnableEventLog(0)
+	}
+	if capacity != nil {
+		if err := c.SetCapacityPolicy(capacity); err != nil {
+			return nil, err
+		}
 	}
 	var mgr *SlotManager
 	if engine == EngineSMapReduce {
@@ -134,7 +197,15 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 		}
 	}
 
-	jobs, err := c.Run(specs...)
+	var jobs []*mr.Job
+	if opts.Arrivals != nil {
+		if len(specs) > 0 {
+			return nil, fmt.Errorf("core: both Arrivals and %d fixed specs given", len(specs))
+		}
+		jobs, err = c.RunArrivals(opts.Arrivals)
+	} else {
+		jobs, err = c.Run(specs...)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +213,9 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 	if mgr != nil {
 		res.Decisions = mgr.Decisions()
 		res.Audits = mgr.Explain()
+	}
+	if capacity != nil {
+		res.Capacity = c.CapacityDecisions()
 	}
 	return res, nil
 }
@@ -164,4 +238,26 @@ func (r *Result) LastFinish() float64 {
 		}
 	}
 	return last
+}
+
+// LatencyPercentile returns the p-th percentile (0..100) of per-job
+// latency — submission to finish — over the result's jobs.
+func (r *Result) LatencyPercentile(p float64) float64 {
+	times := make([]float64, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		times = append(times, j.ExecutionTime())
+	}
+	return stats.Percentile(times, p)
+}
+
+// SLOMisses counts jobs that finished past their latency objective.
+// Jobs without an SLO never miss.
+func (r *Result) SLOMisses() int {
+	n := 0
+	for _, j := range r.Jobs {
+		if j.SLOMissed() {
+			n++
+		}
+	}
+	return n
 }

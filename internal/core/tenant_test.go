@@ -1,0 +1,133 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"smapreduce/internal/arrival"
+	"smapreduce/internal/mr"
+	"smapreduce/internal/policy"
+)
+
+func tenantArrivals(seed uint64, loadFactor float64) mr.ArrivalSource {
+	cfg := arrival.Config{
+		Horizon:    600,
+		LoadFactor: loadFactor,
+		Tenants: []arrival.Tenant{
+			{Name: "analytics", Benchmarks: []string{"grep", "wordcount"},
+				MeanInterarrival: 90, InputMBMin: 256, InputMBMax: 768, Reduces: 4, SLOSeconds: 240},
+			{Name: "etl", Benchmarks: []string{"terasort"},
+				MeanInterarrival: 150, InputMBMin: 512, InputMBMax: 512, Reduces: 4},
+		},
+	}
+	src, err := arrival.New(cfg, arrival.RNG(seed))
+	if err != nil {
+		panic(err)
+	}
+	return src
+}
+
+func TestCapacityEngineNames(t *testing.T) {
+	want := map[Engine]string{
+		EngineFairShare:     "FairShare",
+		EngineCapacityQueue: "CapacityQueue",
+		EngineGameTheoretic: "GameTheoretic",
+	}
+	engines := CapacityEngines()
+	if len(engines) != 3 {
+		t.Fatalf("CapacityEngines() = %v", engines)
+	}
+	for _, e := range engines {
+		if e.String() != want[e] {
+			t.Errorf("engine %d String = %q, want %q", e, e, want[e])
+		}
+	}
+}
+
+func TestCapacityEnginesRunOpenArrivals(t *testing.T) {
+	cfg := mr.DefaultConfig()
+	cfg.Workers = 4
+	cfg.Net.Nodes = 4
+	for _, engine := range CapacityEngines() {
+		res, err := Run(engine, Options{
+			Cluster:  cfg,
+			Arrivals: tenantArrivals(cfg.Seed, 1),
+			Tenants:  []policy.Tenant{{Name: "analytics", Weight: 2}, {Name: "etl", Guarantee: 0.3}},
+			Events:   true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		if len(res.Jobs) == 0 {
+			t.Fatalf("%v: no jobs admitted", engine)
+		}
+		for _, j := range res.Jobs {
+			if !j.Finished() {
+				t.Fatalf("%v: job %s unfinished", engine, j.Spec.Name)
+			}
+		}
+		if len(res.Capacity) == 0 {
+			t.Fatalf("%v: no capacity decisions recorded", engine)
+		}
+		if res.SLOMisses() < 0 || res.SLOMisses() > len(res.Jobs) {
+			t.Fatalf("%v: SLOMisses out of range", engine)
+		}
+		p50, p99 := res.LatencyPercentile(50), res.LatencyPercentile(99)
+		if !(p50 > 0 && p99 >= p50) {
+			t.Fatalf("%v: latency percentiles p50=%v p99=%v", engine, p50, p99)
+		}
+	}
+}
+
+func TestCapacityEngineDeterministic(t *testing.T) {
+	cfg := mr.DefaultConfig()
+	cfg.Workers = 4
+	cfg.Net.Nodes = 4
+	run := func() ([]mr.CapacityDecision, float64) {
+		res, err := Run(EngineFairShare, Options{Cluster: cfg, Arrivals: tenantArrivals(cfg.Seed, 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Capacity, res.LastFinish()
+	}
+	caps1, fin1 := run()
+	caps2, fin2 := run()
+	if fin1 != fin2 {
+		t.Fatalf("finish times diverged: %v vs %v", fin1, fin2)
+	}
+	if !reflect.DeepEqual(caps1, caps2) {
+		t.Fatal("capacity decision logs diverged between identical runs")
+	}
+}
+
+func TestArrivalsAndSpecsMutuallyExclusive(t *testing.T) {
+	cfg := mr.DefaultConfig()
+	cfg.Workers = 4
+	cfg.Net.Nodes = 4
+	_, err := Run(EngineHadoopV1, Options{Cluster: cfg, Arrivals: tenantArrivals(1, 1)}, job("grep", 512, 4))
+	if err == nil {
+		t.Fatal("Run accepted both Arrivals and fixed specs")
+	}
+}
+
+func TestExplicitCapacityOnBaselineEngine(t *testing.T) {
+	// A capacity policy composes with any engine, including the dynamic
+	// slot manager.
+	cfg := mr.DefaultConfig()
+	cfg.Workers = 4
+	cfg.Net.Nodes = 4
+	p, err := policy.NewFairShare(policy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(EngineSMapReduce, Options{Cluster: cfg, Capacity: p, Arrivals: tenantArrivals(cfg.Seed, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Capacity) == 0 {
+		t.Fatal("no capacity decisions on SMapReduce engine with explicit policy")
+	}
+	if len(res.Decisions) == 0 {
+		t.Fatal("slot manager decisions missing — capacity policy displaced the controller")
+	}
+}

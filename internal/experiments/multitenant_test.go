@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"testing"
+
+	"smapreduce/internal/core"
+)
+
+// shootoutCfg shrinks the sweep so the test stays fast: the tenant mix
+// still saturates at load 2 because input sizes shrink with Scale while
+// arrival rates stay fixed.
+func shootoutCfg() Config {
+	cfg := Default()
+	cfg.Scale = 0.05
+	cfg.Workers = 8
+	cfg.Reduces = 8
+	return cfg
+}
+
+func TestMultiTenantShootout(t *testing.T) {
+	shape(t)
+	r, err := MultiTenantShootout(shootoutCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines, loads := ShootoutEngines(), ShootoutLoads()
+	if len(engines) < 4 {
+		t.Fatalf("shoot-out compares only %d engines", len(engines))
+	}
+	if len(r.Rows) != len(engines)*len(loads) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(engines)*len(loads))
+	}
+	for _, engine := range engines {
+		for _, load := range loads {
+			row, ok := r.Get(engine, load)
+			if !ok {
+				t.Fatalf("missing row %v/%g", engine, load)
+			}
+			if row.Jobs <= 0 {
+				t.Fatalf("%v load %g admitted no jobs", engine, load)
+			}
+			if !(row.Makespan > 0 && row.P50 > 0 && row.P99 >= row.P50) {
+				t.Fatalf("%v load %g: makespan=%v p50=%v p99=%v",
+					engine, load, row.Makespan, row.P50, row.P99)
+			}
+			if row.SLOMisses < 0 || row.SLOMisses > row.Jobs {
+				t.Fatalf("%v load %g: SLO misses %d of %d jobs", engine, load, row.SLOMisses, row.Jobs)
+			}
+		}
+		// The same arrival stream feeds every load level; higher load
+		// must admit at least as many jobs.
+		lo, _ := r.Get(engine, loads[0])
+		hi, _ := r.Get(engine, loads[len(loads)-1])
+		if hi.Jobs < lo.Jobs {
+			t.Errorf("%v: jobs fell from %d to %d as load rose", engine, lo.Jobs, hi.Jobs)
+		}
+	}
+	// Identical engines see identical workloads: the job count at a
+	// given load is engine-independent (arrival streams are a pure
+	// function of the seed and load, never the engine).
+	for _, load := range loads {
+		ref, _ := r.Get(engines[0], load)
+		for _, engine := range engines[1:] {
+			row, _ := r.Get(engine, load)
+			if row.Jobs != ref.Jobs {
+				t.Errorf("load %g: %v admitted %d jobs but %v admitted %d",
+					load, engines[0], ref.Jobs, engine, row.Jobs)
+			}
+		}
+	}
+	if tbl := r.Table(); tbl == nil || len(tbl.Rows) != len(r.Rows) {
+		t.Fatal("Table() malformed")
+	}
+}
+
+func TestShootoutDeterministic(t *testing.T) {
+	shape(t)
+	cfg := shootoutCfg()
+	a, err := MultiTenantShootout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MultiTenantShootout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d diverged between identical sweeps:\n%+v\n%+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	// The capacity engines must actually exercise their policies.
+	loads := ShootoutLoads()
+	for _, engine := range core.CapacityEngines() {
+		row, ok := a.Get(engine, loads[len(loads)-1])
+		if !ok || row.Jobs == 0 {
+			t.Fatalf("capacity engine %v ran no jobs", engine)
+		}
+	}
+}

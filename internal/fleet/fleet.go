@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 
+	"smapreduce/internal/arrival"
 	"smapreduce/internal/core"
 	"smapreduce/internal/mr"
 	"smapreduce/internal/par"
@@ -72,6 +73,16 @@ type Config struct {
 	// cluster's seed, so the workload is reproducible per cluster
 	// regardless of worker count. Nil means DefaultSpecs.
 	Specs func(i int, rng *sim.Rand) []mr.JobSpec
+	// Arrivals, when non-nil, replaces Specs with an open arrival
+	// process per cluster: the source is built fresh for cluster i from
+	// the cluster's dedicated arrival stream (arrival fork of its
+	// derived seed), so the stream is pure in (Seed, i) and identical
+	// for every worker count.
+	Arrivals func(i int, rng *sim.Rand) mr.ArrivalSource
+	// Capacity attaches a multi-tenant capacity policy to every
+	// cluster. One instance is shared fleet-wide, which is safe exactly
+	// because mr.CapacityPolicy implementations must be stateless.
+	Capacity mr.CapacityPolicy
 
 	// CollectEvents attaches a structured event log to every cluster,
 	// delivered through PerCluster. Off by default: the log is the one
@@ -125,6 +136,9 @@ type Result struct {
 	Completed int
 	// Decisions counts slot-manager decisions (SMapReduce only).
 	Decisions int
+	// SLOMisses counts completed jobs that finished past their latency
+	// objective, fleet-wide.
+	SLOMisses int
 
 	// Makespan aggregates each cluster's last job finish time.
 	Makespan     stats.Acc
@@ -182,10 +196,11 @@ func DefaultSpecs(i int, rng *sim.Rand) []mr.JobSpec {
 type shard struct {
 	sim *mr.SimState
 
-	jobs, completed, decisions int
-	makespan, jobExec          stats.Acc
-	mapTime, reduceTime        stats.Acc
-	makespanHist, jobExecHist  *stats.Histogram
+	jobs, completed, decisions, sloMisses int
+
+	makespan, jobExec         stats.Acc
+	mapTime, reduceTime       stats.Acc
+	makespanHist, jobExecHist *stats.Histogram
 }
 
 // Run executes the fleet and returns the merged result.
@@ -248,6 +263,7 @@ func Run(cfg Config) (*Result, error) {
 		res.Jobs += sh.jobs
 		res.Completed += sh.completed
 		res.Decisions += sh.decisions
+		res.SLOMisses += sh.sloMisses
 		res.Makespan.Merge(&sh.makespan)
 		res.JobExec.Merge(&sh.jobExec)
 		res.MapTime.Merge(&sh.mapTime)
@@ -268,13 +284,22 @@ func (sh *shard) runOne(cfg *Config, base mr.Config, specs func(int, *sim.Rand) 
 		st = nil
 	}
 	// The spec stream forks tag 2: the cluster itself consumes forks 0
-	// (runtime noise) and 1 (DFS layout) of the same seed.
-	res, err := core.Run(cfg.Engine, core.Options{
+	// (runtime noise) and 1 (DFS layout) of the same seed, and open
+	// arrival streams fork 3 (arrival.RNG).
+	opts := core.Options{
 		Cluster:     ccfg,
 		SlotManager: cfg.SlotManager,
 		Sim:         st,
 		Events:      cfg.CollectEvents,
-	}, specs(i, sim.NewRand(seed).Fork(2))...)
+		Capacity:    cfg.Capacity,
+	}
+	var jobSpecs []mr.JobSpec
+	if cfg.Arrivals != nil {
+		opts.Arrivals = cfg.Arrivals(i, arrival.RNG(seed))
+	} else {
+		jobSpecs = specs(i, sim.NewRand(seed).Fork(2))
+	}
+	res, err := core.Run(cfg.Engine, opts, jobSpecs...)
 	if err != nil {
 		return fmt.Errorf("fleet: cluster %d (seed %#x): %w", i, seed, err)
 	}
@@ -288,6 +313,9 @@ func (sh *shard) runOne(cfg *Config, base mr.Config, specs func(int, *sim.Rand) 
 			continue
 		}
 		sh.completed++
+		if j.SLOMissed() {
+			sh.sloMisses++
+		}
 		sh.jobExec.Add(j.ExecutionTime())
 		sh.jobExecHist.Add(j.ExecutionTime())
 		if mt := j.MapTime(); !math.IsNaN(mt) {
@@ -308,14 +336,14 @@ func (sh *shard) runOne(cfg *Config, base mr.Config, specs func(int, *sim.Rand) 
 func (r *Result) Summary() string {
 	return fmt.Sprintf(
 		"fleet: %d clusters on %d workers, engine %s, seed %#x\n"+
-			"  jobs:      %d submitted, %d completed, %d slot decisions\n"+
+			"  jobs:      %d submitted, %d completed, %d slot decisions, %d SLO misses\n"+
 			"  makespan:  mean %.1fs  p50 %.1fs  p99 %.1fs  max %.1fs\n"+
 			"             %s\n"+
 			"  job exec:  mean %.1fs  p50 %.1fs  p99 %.1fs  max %.1fs\n"+
 			"             %s\n"+
 			"  map time:  mean %.1fs   reduce time: mean %.1fs",
 		r.Clusters, r.Workers, r.Engine, r.Seed,
-		r.Jobs, r.Completed, r.Decisions,
+		r.Jobs, r.Completed, r.Decisions, r.SLOMisses,
 		r.Makespan.Mean(), r.MakespanHist.Quantile(0.5), r.MakespanHist.Quantile(0.99), r.Makespan.Max(),
 		r.MakespanHist,
 		r.JobExec.Mean(), r.JobExecHist.Quantile(0.5), r.JobExecHist.Quantile(0.99), r.JobExec.Max(),

@@ -7,8 +7,10 @@ import (
 	"strings"
 	"testing"
 
+	"smapreduce/internal/arrival"
 	"smapreduce/internal/core"
 	"smapreduce/internal/mr"
+	"smapreduce/internal/policy"
 	"smapreduce/internal/puma"
 	"smapreduce/internal/sim"
 	"smapreduce/internal/stats"
@@ -99,6 +101,89 @@ func TestFleetDeterminismAcrossWorkerCounts(t *testing.T) {
 		}
 		if res.Workers != min(w, clusters) {
 			t.Fatalf("Workers = %d, want %d", res.Workers, min(w, clusters))
+		}
+	}
+}
+
+// testArrivals builds cluster i's open arrival stream: two tenants
+// with Poisson arrivals (one diurnal), pure in the provided rng stream.
+func testArrivals(i int, rng *sim.Rand) mr.ArrivalSource {
+	src, err := arrival.New(arrival.Config{
+		Horizon:       400,
+		Diurnal:       0.4,
+		DiurnalPeriod: 300,
+		Tenants: []arrival.Tenant{
+			{Name: "analytics", Benchmarks: []string{"grep", "wordcount"},
+				MeanInterarrival: 120, InputMBMin: 256, InputMBMax: 512, Reduces: 4, SLOSeconds: 200},
+			{Name: "etl", Benchmarks: []string{"terasort"},
+				MeanInterarrival: 200, InputMBMin: 384, InputMBMax: 384, Reduces: 4},
+		},
+	}, rng)
+	if err != nil {
+		panic(err)
+	}
+	return src
+}
+
+// TestFleetDeterminismOpenArrivals extends the tentpole invariant to
+// open-arrival multi-tenant fleets: jobs submitted mid-simulation from
+// seeded arrival streams, with a shared capacity policy rebalancing
+// tenant caps, must still produce byte-identical per-cluster artefacts
+// at workers=1 and workers=GOMAXPROCS.
+func TestFleetDeterminismOpenArrivals(t *testing.T) {
+	const clusters = 8
+	mk := func(workers int) Config {
+		cfg := testConfig(clusters, workers)
+		cfg.Engine = core.EngineFairShare
+		cfg.Specs = nil
+		cfg.Arrivals = testArrivals
+		return cfg
+	}
+	refOut, refRes := artifacts(t, mk(1))
+	jobs := 0
+	for _, a := range refOut {
+		jobs += strings.Count(a, "job-submitted")
+	}
+	if jobs == 0 {
+		t.Fatal("open-arrival fleet submitted no jobs")
+	}
+	for _, w := range []int{3, runtime.GOMAXPROCS(0)} {
+		out, res := artifacts(t, mk(w))
+		for i := range refOut {
+			if out[i] != refOut[i] {
+				t.Fatalf("workers=%d: cluster %d open-arrival artefacts diverge from workers=1 (%d vs %d bytes)",
+					w, i, len(out[i]), len(refOut[i]))
+			}
+		}
+		if got, want := mergedBits(res), mergedBits(refRes); got != want {
+			t.Fatalf("workers=%d: merged open-arrival result diverges:\n%s\n%s", w, got, want)
+		}
+	}
+}
+
+// TestFleetSharedCapacityPolicy pins the stateless-policy contract: one
+// explicitly shared policy instance across all workers must match a
+// fleet where the policy is attached per engine default.
+func TestFleetSharedCapacityPolicy(t *testing.T) {
+	p, err := policy.NewFairShare(policy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(6, 3)
+	cfg.Engine = core.EngineHadoopV1
+	cfg.Specs = nil
+	cfg.Arrivals = testArrivals
+	cfg.Capacity = p
+	shared, _ := artifacts(t, cfg)
+
+	cfg2 := testConfig(6, 1)
+	cfg2.Engine = core.EngineFairShare
+	cfg2.Specs = nil
+	cfg2.Arrivals = testArrivals
+	perRun, _ := artifacts(t, cfg2)
+	for i := range shared {
+		if shared[i] != perRun[i] {
+			t.Fatalf("cluster %d: shared policy instance diverges from per-run instances", i)
 		}
 	}
 }

@@ -54,7 +54,22 @@ type Cluster struct {
 	sampleEvent  sim.EventRef
 	activeJobs   int
 	jobsToSubmit int
+	started      bool
 	stopped      bool
+	nextJobID    int
+	arrivalErr   error
+
+	// Multi-tenant capacity management (capacity.go): the attached
+	// policy, its periodic tick, the applied per-tenant task caps and
+	// running counters, the sorted tenant name list and the decision log.
+	capacity      CapacityPolicy
+	capEvent      sim.EventRef
+	capFn         func()
+	tenantCaps        map[string]int
+	tenantRunning     map[string]int
+	tenantRunningMaps map[string]int
+	tenantNames   []string
+	capLog        []CapacityDecision
 
 	// sampleFn/ctrlFn are the periodic tick callbacks, bound once so
 	// re-arming the sampler and controller each tick does not allocate
@@ -377,7 +392,7 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("mr: Run with no jobs")
 	}
-	if c.stopped || len(c.jt.jobs) > 0 {
+	if c.started || c.stopped || len(c.jt.jobs) > 0 {
 		return nil, fmt.Errorf("mr: Run called twice")
 	}
 	for _, spec := range specs {
@@ -386,16 +401,13 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 		}
 	}
 
-	// Stage inputs. Jobs may share an input file by using the same
-	// name; the first spec sizes it.
+	// Stage inputs up front, in spec order.
 	jobs := make([]*Job, 0, len(specs))
-	for i, spec := range specs {
-		name := fmt.Sprintf("input/%s-%d", spec.Name, i)
-		file, err := c.fs.Create(name, spec.InputMB)
+	for _, spec := range specs {
+		j, err := c.stageJob(spec)
 		if err != nil {
 			return nil, err
 		}
-		j := newJob(i, spec, file, c.cfg.NodeSpec.Beta, c.cfg.Workers)
 		jobs = append(jobs, j)
 	}
 
@@ -405,25 +417,153 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 		j := j
 		c.clock.Schedule(j.Spec.SubmitAt, "submit "+j.Spec.Name, func() {
 			c.jobsToSubmit--
-			c.activeJobs++
-			c.Mutate(func() {
-				c.jt.admit(j)
-				c.traceJobBegin(j)
-				c.emit(EvJobSubmitted, j.Spec.Name, "", -1,
-					fmt.Sprintf("%d maps, %d reduces", j.NumMaps(), j.NumReduces()))
-				c.tracef("submit job %s (%d maps, %d reduces, %.0f MB)",
-					j.Spec.Name, j.NumMaps(), j.NumReduces(), j.Spec.InputMB)
-				// Kick every tracker immediately rather than waiting up
-				// to a heartbeat period.
-				for _, tt := range c.trackers {
-					c.jt.assign(tt)
-				}
-			})
+			c.submitJob(j)
 		})
 	}
 
-	// Start periodic machinery: staggered heartbeats, progress sampler,
-	// controller ticks.
+	c.start()
+	c.drive()
+
+	for _, j := range jobs {
+		if !j.Finished() {
+			return jobs, fmt.Errorf("mr: job %s did not finish (maps %d/%d, reduces %d/%d)",
+				j.Spec.Name, j.mapsDone, len(j.maps), j.reducesDone, len(j.reduces))
+		}
+	}
+	return jobs, nil
+}
+
+// ArrivalSource produces an open-ended stream of job submissions for
+// RunArrivals. Next returns the next job and its absolute submission
+// time in virtual seconds; ok=false ends the stream. Times must be
+// non-decreasing. Sources must be deterministic: all randomness drawn
+// from seeded streams (internal/arrival reserves fork 3 of the cluster
+// seed), never from the wall clock or the global RNG.
+type ArrivalSource interface {
+	Next() (spec JobSpec, at float64, ok bool)
+}
+
+// RunArrivals pulls jobs from src as the simulation advances — an open
+// arrival process, in contrast to Run's fixed job list — and drives the
+// simulation until the stream ends and every submitted job finishes.
+// It returns the completed jobs in submission order. Like Run it may
+// only be called once per cluster.
+func (c *Cluster) RunArrivals(src ArrivalSource) ([]*Job, error) {
+	if c.started || c.stopped || len(c.jt.jobs) > 0 {
+		return nil, fmt.Errorf("mr: RunArrivals called twice")
+	}
+	spec, at, ok := src.Next()
+	if !ok {
+		return nil, fmt.Errorf("mr: RunArrivals with an empty arrival source")
+	}
+	c.jobsToSubmit = 1 // the staged next arrival keeps shutdown at bay
+	c.activeJobs = 0
+	c.scheduleArrival(src, spec, at)
+
+	c.start()
+	c.drive()
+
+	jobs := append([]*Job(nil), c.jt.jobs...)
+	if c.arrivalErr != nil {
+		return jobs, c.arrivalErr
+	}
+	for _, j := range jobs {
+		if !j.Finished() {
+			return jobs, fmt.Errorf("mr: job %s did not finish (maps %d/%d, reduces %d/%d)",
+				j.Spec.Name, j.mapsDone, len(j.maps), j.reducesDone, len(j.reduces))
+		}
+	}
+	return jobs, nil
+}
+
+// scheduleArrival arms the submission of one arrived job and, when it
+// fires, pulls the following arrival — a chained event per job, so the
+// source is consumed lazily as virtual time reaches each arrival.
+func (c *Cluster) scheduleArrival(src ArrivalSource, spec JobSpec, at float64) {
+	if at < c.clock.Now() {
+		at = c.clock.Now()
+	}
+	c.clock.Schedule(at, "arrival "+spec.Name, func() {
+		c.jobsToSubmit--
+		j, err := c.stageJob(spec)
+		if err != nil {
+			// A malformed arrival poisons the run: record the first
+			// error, stop pulling, and let the admitted jobs drain.
+			if c.arrivalErr == nil {
+				c.arrivalErr = fmt.Errorf("mr: arrival %s: %w", spec.Name, err)
+			}
+			c.tracef("arrival %s rejected: %v", spec.Name, err)
+			if c.activeJobs == 0 && c.jobsToSubmit == 0 {
+				c.shutdown()
+			}
+			return
+		}
+		c.submitJob(j)
+		if next, nextAt, ok := src.Next(); ok {
+			c.jobsToSubmit++
+			c.scheduleArrival(src, next, nextAt)
+		}
+	})
+}
+
+// Submit stages and admits one job at the current virtual time — the
+// mid-simulation submission path used by arrival events and tests. It
+// may be called from any scheduled callback while the simulation is
+// live; once the cluster has shut down submissions are rejected.
+func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
+	if c.stopped {
+		return nil, fmt.Errorf("mr: Submit(%s) after cluster shutdown", spec.Name)
+	}
+	j, err := c.stageJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.submitJob(j)
+	return j, nil
+}
+
+// stageJob validates a spec, stages its input file and materialises the
+// job's tasks. Job IDs count up in staging order.
+func (c *Cluster) stageJob(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	id := c.nextJobID
+	name := fmt.Sprintf("input/%s-%d", spec.Name, id)
+	file, err := c.fs.Create(name, spec.InputMB)
+	if err != nil {
+		return nil, err
+	}
+	c.nextJobID++
+	return newJob(id, spec, file, c.cfg.NodeSpec.Beta, c.cfg.Workers), nil
+}
+
+// submitJob admits a staged job at the current virtual time and kicks
+// every tracker so assignment starts immediately rather than waiting up
+// to a heartbeat period.
+func (c *Cluster) submitJob(j *Job) {
+	c.activeJobs++
+	c.Mutate(func() {
+		c.jt.admit(j)
+		c.registerTenant(j)
+		c.traceJobBegin(j)
+		detail := fmt.Sprintf("%d maps, %d reduces", j.NumMaps(), j.NumReduces())
+		if j.Spec.Tenant != "" {
+			detail += ", tenant " + j.Spec.Tenant
+		}
+		c.emit(EvJobSubmitted, j.Spec.Name, "", -1, detail)
+		c.tracef("submit job %s (%d maps, %d reduces, %.0f MB)",
+			j.Spec.Name, j.NumMaps(), j.NumReduces(), j.Spec.InputMB)
+		for _, tt := range c.trackers {
+			c.jt.assign(tt)
+		}
+	})
+}
+
+// start arms the periodic machinery: staggered heartbeats, progress
+// sampler, controller and capacity ticks.
+func (c *Cluster) start() {
+	c.started = true
 	for i, tt := range c.trackers {
 		offset := c.cfg.HeartbeatPeriod * float64(i) / float64(len(c.trackers))
 		tt.lastHB = 0
@@ -435,18 +575,16 @@ func (c *Cluster) Run(specs ...JobSpec) ([]*Job, error) {
 	if c.controller != nil {
 		c.scheduleController()
 	}
-
-	// Drive to completion. The event bound is generous: a runaway
-	// simulation indicates a runtime bug and panics inside the clock.
-	c.clock.RunUntilIdle(200_000_000)
-
-	for _, j := range jobs {
-		if !j.Finished() {
-			return jobs, fmt.Errorf("mr: job %s did not finish (maps %d/%d, reduces %d/%d)",
-				j.Spec.Name, j.mapsDone, len(j.maps), j.reducesDone, len(j.reduces))
-		}
+	if c.capacity != nil {
+		c.scheduleCapacity()
 	}
-	return jobs, nil
+}
+
+// drive runs the event loop until the queue drains. The event bound is
+// generous: a runaway simulation indicates a runtime bug and panics
+// inside the clock.
+func (c *Cluster) drive() {
+	c.clock.RunUntilIdle(200_000_000)
 }
 
 // scheduleSampler records progress curves for all running jobs. The
@@ -529,6 +667,7 @@ func (c *Cluster) shutdown() {
 	}
 	c.clock.Cancel(c.ctrlEvent)
 	c.clock.Cancel(c.sampleEvent)
+	c.clock.Cancel(c.capEvent)
 	c.tracef("all jobs finished; shutting down")
 }
 

@@ -33,6 +33,10 @@ const (
 	EvTrackerBlacklisted EventKind = "tracker-blacklisted"
 	EvTrackerProbation   EventKind = "tracker-probation"
 	EvTrackerCleared     EventKind = "tracker-cleared"
+	// EvTenantCap records one tenant's task cap changing at a capacity
+	// tick; Detail carries "tenant=cap" (or "tenant=uncapped").
+	EvTenantCap EventKind = "tenant-cap"
+
 	EvNodeDegraded       EventKind = "node-degraded"
 	EvNodeRestored       EventKind = "node-restored"
 	EvLinkDegraded       EventKind = "link-degraded"

@@ -107,12 +107,7 @@ func (c *Cluster) failTracker(tt *TaskTracker) {
 	for m := range tt.runningMaps {
 		maps = append(maps, m)
 	}
-	sort.Slice(maps, func(i, k int) bool {
-		if maps[i].job.ID != maps[k].job.ID {
-			return maps[i].job.ID < maps[k].job.ID
-		}
-		return maps[i].id < maps[k].id
-	})
+	sort.Slice(maps, func(i, k int) bool { return mapAttemptLess(maps[i], maps[k]) })
 	for _, m := range maps {
 		// Speculation interplay: kill every attempt of the affected
 		// logical task and requeue the logical task once. (Killing a
@@ -138,12 +133,7 @@ func (c *Cluster) failTracker(tt *TaskTracker) {
 	for r := range tt.runningReduces {
 		reduces = append(reduces, r)
 	}
-	sort.Slice(reduces, func(i, k int) bool {
-		if reduces[i].job.ID != reduces[k].job.ID {
-			return reduces[i].job.ID < reduces[k].job.ID
-		}
-		return reduces[i].partition < reduces[k].partition
-	})
+	sort.Slice(reduces, func(i, k int) bool { return reduceAttemptLess(reduces[i], reduces[k]) })
 	for _, r := range reduces {
 		c.abortReduce(r)
 	}
@@ -174,6 +164,32 @@ func (c *Cluster) failTracker(tt *TaskTracker) {
 	for _, live := range c.trackers {
 		c.jt.assign(live)
 	}
+}
+
+// mapAttemptLess is a total order over map task attempts: (job, task
+// id, original-before-backup). The final key matters because an
+// original and its speculative backup share job and task id — without
+// it, two attempts of one logical task would compare equal and
+// sort.Slice (which is not stable) could order victims differently
+// between runs that are otherwise identical.
+func mapAttemptLess(a, b *mapTask) bool {
+	if a.job.ID != b.job.ID {
+		return a.job.ID < b.job.ID
+	}
+	if a.id != b.id {
+		return a.id < b.id
+	}
+	return a.backupOf == nil && b.backupOf != nil
+}
+
+// reduceAttemptLess is a total order over reduce task attempts:
+// (job, partition). Reduce tasks are never speculated, so one attempt
+// per partition exists and the pair is already unique.
+func reduceAttemptLess(a, b *reduceTask) bool {
+	if a.job.ID != b.job.ID {
+		return a.job.ID < b.job.ID
+	}
+	return a.partition < b.partition
 }
 
 // outputStillNeeded reports whether any reducer has not received map
@@ -221,6 +237,7 @@ func (c *Cluster) abortMap(m *mapTask) {
 	}
 	m.computeOp, m.readOp, m.sortOp, m.spillOp = nil, nil, nil, nil
 	delete(tt.runningMaps, m)
+	c.tenantTaskStopped(m.job, true)
 	c.traceMapEnd(m, "aborted")
 	m.state = TaskPending
 	m.tracker = nil
@@ -285,12 +302,14 @@ func (c *Cluster) abortReduce(r *reduceTask) {
 	}
 	r.pipeFlows, r.pipeActs, r.pipeNodes, r.pipeOps = nil, nil, nil, nil
 	delete(tt.runningReduces, r)
+	c.tenantTaskStopped(r.job, false)
 	c.traceReduceEnd(r, "aborted")
 
 	r.state = TaskPending
 	r.tracker = nil
 	r.phase = 0
 	r.pendingOps = 0
+	r.started = 0
 	r.fetchedMB = 0
 	for i := range r.pending {
 		r.pending[i] = 0

@@ -20,6 +20,16 @@ type JobSpec struct {
 	Reduces  int
 	SubmitAt float64 // virtual submission time
 
+	// Tenant names the queue/organisation this job belongs to. Empty
+	// means the shared default tenant. Capacity policies allocate task
+	// caps per tenant; jobs of uncapped tenants schedule freely.
+	Tenant string
+
+	// SLOSeconds is the job's latency objective: it should finish within
+	// this many seconds of submission. 0 means no SLO. The runtime does
+	// not act on it — experiments count misses per tenant and policy.
+	SLOSeconds float64
+
 	// Priority orders jobs under the Priority scheduler; higher runs
 	// first. Ignored by FIFO and Fair.
 	Priority int
@@ -44,6 +54,8 @@ func (s JobSpec) Validate() error {
 		return fmt.Errorf("mr: job %s: SubmitAt = %v, must be >= 0", s.Name, s.SubmitAt)
 	case s.PartitionSkew < 0 || s.PartitionSkew > 4:
 		return fmt.Errorf("mr: job %s: PartitionSkew = %v, must be in [0,4]", s.Name, s.PartitionSkew)
+	case s.SLOSeconds < 0:
+		return fmt.Errorf("mr: job %s: SLOSeconds = %v, must be >= 0", s.Name, s.SLOSeconds)
 	}
 	return s.Profile.Validate()
 }
@@ -149,6 +161,21 @@ func partitionWeights(n int, skew float64) []float64 {
 		w[i] /= sum
 	}
 	return w
+}
+
+// Tenant returns the job's tenant, normalising the empty spec value to
+// the shared "default" tenant that capacity policies see.
+func (j *Job) Tenant() string {
+	if j.Spec.Tenant == "" {
+		return "default"
+	}
+	return j.Spec.Tenant
+}
+
+// SLOMissed reports whether the job finished after its SLO deadline.
+// Jobs without an SLO (or unfinished jobs) never count as missed.
+func (j *Job) SLOMissed() bool {
+	return j.Spec.SLOSeconds > 0 && j.Finished() && j.ExecutionTime() > j.Spec.SLOSeconds
 }
 
 // NumMaps returns the job's map task count (one per input split).
@@ -375,6 +402,9 @@ type reduceTask struct {
 	pipeActs  []*resource.Activity
 	pipeNodes []int
 	pipeOps   []*fluidOp
+
+	started  float64 // launch time of the surviving attempt
+	finished float64 // completion time (0 until finished)
 
 	span trace.SpanRef // open attempt span when tracing
 }

@@ -171,8 +171,12 @@ func (jt *JobTracker) jobOrder() []*Job {
 
 // nextMap picks the next pending map task for tt: jobs in scheduler
 // order; within a job node-local first, then rack-local, then any.
+// Jobs of tenants at their capacity cap are skipped.
 func (jt *JobTracker) nextMap(tt *TaskTracker) *mapTask {
 	for _, j := range jt.jobOrder() {
+		if jt.c.tenantMapBlocked(j) {
+			continue
+		}
 		pend := jt.pendingMaps[j]
 		if len(pend) == 0 {
 			continue
@@ -242,6 +246,9 @@ func (jt *JobTracker) take(j *Job, m *mapTask) {
 // reduce slow-start threshold.
 func (jt *JobTracker) nextReduce(tt *TaskTracker) *reduceTask {
 	for _, j := range jt.jobOrder() {
+		if jt.c.tenantReduceBlocked(j) {
+			continue
+		}
 		if j.mapsDone < int(jt.c.cfg.ReduceSlowstart*float64(len(j.maps))) {
 			continue
 		}

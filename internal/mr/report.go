@@ -21,7 +21,7 @@ type TaskReport struct {
 	ID         int
 	Tracker    int     // node that ran the winning attempt (-1 if never ran)
 	StartedAt  float64 // winning attempt's launch time
-	FinishedAt float64 // commit time (maps; 0 if unfinished)
+	FinishedAt float64 // commit/completion time (0 if unfinished)
 	InputMB    float64 // split size (maps) or fetched volume (reduces)
 	Done       bool
 }
@@ -90,6 +90,8 @@ func (j *Job) Report(c *Cluster) *JobReport {
 		tr := TaskReport{Type: "reduce", ID: rd.partition, Tracker: -1, InputMB: rd.fetchedMB, Done: rd.state == TaskDone}
 		if rd.tracker != nil {
 			tr.Tracker = rd.tracker.id
+			tr.StartedAt = rd.started
+			tr.FinishedAt = rd.finished
 		}
 		r.Tasks = append(r.Tasks, tr)
 	}
@@ -180,7 +182,19 @@ func (r *JobReport) SlowestTasks(n int) []TaskReport {
 			done = append(done, t)
 		}
 	}
-	sort.Slice(done, func(i, k int) bool { return done[i].StartedAt > done[k].StartedAt })
+	// Total order: latest start first, ties broken by type then task id.
+	// Reduce waves routinely launch several tasks at the same instant,
+	// so without the tiebreakers sort.Slice (unstable) leaves the order
+	// of equal-start tasks unspecified between runs.
+	sort.Slice(done, func(i, k int) bool {
+		if done[i].StartedAt != done[k].StartedAt {
+			return done[i].StartedAt > done[k].StartedAt
+		}
+		if done[i].Type != done[k].Type {
+			return done[i].Type < done[k].Type
+		}
+		return done[i].ID < done[k].ID
+	})
 	if n > len(done) {
 		n = len(done)
 	}

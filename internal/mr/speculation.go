@@ -32,6 +32,9 @@ func (jt *JobTracker) pickSpeculative(tt *TaskTracker) *mapTask {
 	var candidate *mapTask
 	longestETA := 0.0
 	for _, j := range jt.jobOrder() {
+		if jt.c.tenantAtCap(j) {
+			continue // a backup attempt counts against the tenant's cap too
+		}
 		// Mean progress rate of running original attempts.
 		sum, n := 0.0, 0
 		for _, m := range j.maps {
@@ -158,6 +161,7 @@ func (c *Cluster) killAttempt(m *mapTask) {
 	}
 	m.computeOp, m.readOp, m.sortOp, m.spillOp = nil, nil, nil, nil
 	delete(tt.runningMaps, m)
+	c.tenantTaskStopped(m.job, true)
 	c.traceMapEnd(m, "killed")
 	m.state = TaskDone // retired; the logical task's result came from the winner
 	m.tracker = nil

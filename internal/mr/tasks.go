@@ -26,6 +26,7 @@ func (c *Cluster) launchMap(tt *TaskTracker, m *mapTask) {
 		m.shuffleMB *= c.cfg.CompressionRatio
 	}
 	tt.runningMaps[m] = struct{}{}
+	c.tenantTaskStarted(m.job, true)
 	if c.inv != nil && c.cfg.Policy != YARN {
 		// Under YARN the memory pool, not mapTarget, bounds occupancy.
 		c.inv.CheckMapLaunch(tt.id, len(tt.runningMaps), tt.mapTarget)
@@ -177,6 +178,7 @@ func (c *Cluster) commitMap(m *mapTask) {
 	logical := m.original()
 	m.state = TaskDone
 	delete(tt.runningMaps, m)
+	c.tenantTaskStopped(m.job, true)
 	if !c.resolveSpeculation(m) {
 		// The sibling attempt committed first; this one is a duplicate.
 		c.traceMapEnd(m, "duplicate")
@@ -323,7 +325,9 @@ func (c *Cluster) launchReduce(tt *TaskTracker, r *reduceTask) {
 	r.state = TaskRunning
 	r.tracker = tt
 	r.phase = 0
+	r.started = c.clock.Now()
 	tt.runningReduces[r] = struct{}{}
+	c.tenantTaskStarted(r.job, false)
 	if c.inv != nil && c.cfg.Policy != YARN {
 		c.inv.CheckReduceLaunch(tt.id, len(tt.runningReduces), tt.reduceTarget)
 	}
@@ -573,7 +577,9 @@ func (c *Cluster) pickReplicaTarget(src, extra int) int {
 func (c *Cluster) finishReduce(r *reduceTask) {
 	tt := r.tracker
 	r.state = TaskDone
+	r.finished = c.clock.Now()
 	delete(tt.runningReduces, r)
+	c.tenantTaskStopped(r.job, false)
 	r.job.reducesDone++
 	c.traceReduceEnd(r, "done")
 	c.emit(EvTaskDone, r.job.Spec.Name, fmt.Sprintf("reduce/%d", r.partition), tt.id, "")

@@ -227,16 +227,14 @@ func (tt *TaskTracker) killSurplusMaps() {
 		victims = append(victims, m)
 	}
 	// Kill the least-progressed attempts first (cheapest to redo),
-	// breaking ties by task id for determinism.
+	// breaking ties by the total attempt order so the victim sequence
+	// is pinned even between attempts of the same logical task.
 	sort.Slice(victims, func(i, k int) bool {
 		pi, pk := victims[i].progressFraction(), victims[k].progressFraction()
 		if pi != pk {
 			return pi < pk
 		}
-		if victims[i].job.ID != victims[k].job.ID {
-			return victims[i].job.ID < victims[k].job.ID
-		}
-		return victims[i].id < victims[k].id
+		return mapAttemptLess(victims[i], victims[k])
 	})
 	for _, m := range victims[:surplus] {
 		tt.c.abortMap(m)

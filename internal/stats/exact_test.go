@@ -291,3 +291,51 @@ func TestWelfordMerge(t *testing.T) {
 		t.Fatal("merge of empty changed state")
 	}
 }
+
+func TestHistogramMergeEmptyIsIdentity(t *testing.T) {
+	// Empty-side merges must be exact identities in both directions:
+	// fleet shards that saw no samples recombine with busy shards, and
+	// the result must be byte-identical to the busy shard alone.
+	mk := func() *Histogram { return NewHistogram(0, 100, 10) }
+	same := func(name string, a, b *Histogram) {
+		t.Helper()
+		if a.N() != b.N() {
+			t.Fatalf("%s: N = %d, want %d", name, a.N(), b.N())
+		}
+		for i := 0; i < 10; i++ {
+			if a.Bucket(i) != b.Bucket(i) {
+				t.Fatalf("%s: bucket %d = %d, want %d", name, i, a.Bucket(i), b.Bucket(i))
+			}
+		}
+		bitsEqual(t, name+" Mean", a.Mean(), b.Mean())
+		bitsEqual(t, name+" Min", a.Min(), b.Min())
+		bitsEqual(t, name+" Max", a.Max(), b.Max())
+		bitsEqual(t, name+" p50", a.Quantile(0.5), b.Quantile(0.5))
+		if a.String() != b.String() {
+			t.Fatalf("%s: String mismatch:\n%s\n%s", name, a, b)
+		}
+	}
+
+	// Empty into empty stays empty.
+	e := mk()
+	e.Merge(mk())
+	same("empty+empty", e, mk())
+	if e.Min() != math.Inf(1) || e.Max() != math.Inf(-1) {
+		t.Fatalf("empty merge perturbed min/max: %v/%v", e.Min(), e.Max())
+	}
+
+	// Busy shard unchanged by an empty right side (with under/overflow
+	// mass, which Merge also carries).
+	busy, want := mk(), mk()
+	for _, x := range []float64{-5, 3, 42, 42, 99.5, 130} {
+		busy.Add(x)
+		want.Add(x)
+	}
+	busy.Merge(mk())
+	same("busy+empty", busy, want)
+
+	// Empty left side adopts the busy shard exactly.
+	adopt := mk()
+	adopt.Merge(want)
+	same("empty+busy", adopt, want)
+}

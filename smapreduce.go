@@ -41,6 +41,16 @@ const (
 	SMapReduce = core.EngineSMapReduce
 )
 
+// The multi-tenant capacity engines: HadoopV1 slots plus a pluggable
+// per-tenant task-cap policy (internal/policy), driven by open arrival
+// streams (internal/arrival) through Options.Arrivals and
+// Options.Tenants.
+const (
+	FairShare     = core.EngineFairShare
+	CapacityQueue = core.EngineCapacityQueue
+	GameTheoretic = core.EngineGameTheoretic
+)
+
 // Options configures a run; the zero value reproduces the paper's
 // 16-worker workbench with 3 map + 2 reduce initial slots.
 type Options = core.Options
