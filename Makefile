@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-fleet bench-tenant trace-smoke clean
+.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-fleet bench-tenant trace-smoke serve-smoke clean
 
 all: check
 
@@ -82,6 +82,15 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck trace-smoke.json
 	head -1 trace-smoke.csv
 
+# serve-smoke proves the simulation service end to end: boot on an
+# ephemeral port, submit a scenario over HTTP, watch the SSE stream to
+# its terminal `done` event, check artifact determinism across a
+# resubmission, drain gracefully, and verify the persisted run ledger
+# offline with ledgercheck.
+serve-smoke:
+	./scripts/serve_smoke.sh serve-smoke-out
+
 clean:
 	rm -f smapreduce.test mr.test netsim.test
 	rm -f trace-smoke.json trace-smoke.csv cover.out
+	rm -rf serve-smoke-out

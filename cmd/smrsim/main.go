@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"smapreduce/internal/arrival"
 	"smapreduce/internal/chaos"
@@ -32,6 +33,7 @@ import (
 	"smapreduce/internal/mr"
 	"smapreduce/internal/policy"
 	"smapreduce/internal/puma"
+	"smapreduce/internal/serve"
 	"smapreduce/internal/telemetry"
 	"smapreduce/internal/trace"
 )
@@ -52,7 +54,12 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
 		traceV      = flag.Int("tracev", 0, "trace verbosity: 0 tasks+decisions, 1 +shuffle flows, 2 +all fabric flows")
 		explain     = flag.Bool("explain", false, "print the slot manager's decision audit trail (full inputs per decision)")
-		serveAddr   = flag.String("serve", "", "serve the observability endpoint on this address (/metrics, /trace, /healthz, /debug/pprof) and stay up after the run")
+		serveAddr   = flag.String("serve", "", "serve the simulation service on this address (POST /runs, SSE /runs/{id}/events, /ledger, /metrics, /trace) and stay up after the run")
+		serveOnly   = flag.Bool("serve-only", false, "skip the local run: boot the simulation service (at -serve, default :0) and wait for submissions")
+		serveWk     = flag.Int("serve-workers", 2, "simulation service worker pool size (concurrent runs)")
+		serveQueue  = flag.Int("serve-queue", 0, "service queue depth beyond the workers before 429 shedding (0 = -serve-workers)")
+		artifactDir = flag.String("artifact-dir", "", "mirror finished service runs' artifacts and the ledger (ledger.jsonl) under this directory")
+		drainDur    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for draining in-flight service runs on SIGINT/SIGTERM")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 		scheduler   = flag.String("scheduler", "fifo", "job scheduler: fifo | fair")
 		speculate   = flag.Bool("speculate", false, "enable speculative map execution")
@@ -76,6 +83,23 @@ func main() {
 			fmt.Printf("  %-24s %-12s shuffle ratio %.4f, thrash peak %.1f slots\n",
 				p.Name, p.Class(), p.ShuffleRatio(), p.MapPeakSlots)
 		}
+		return
+	}
+
+	if *serveOnly {
+		addr := *serveAddr
+		if addr == "" {
+			addr = ":0"
+		}
+		srv, err := startServer(addr, serve.Options{
+			Workers:     *serveWk,
+			Queue:       *serveQueue,
+			ArtifactDir: *artifactDir,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		awaitShutdown(srv, *drainDur)
 		return
 	}
 
@@ -195,13 +219,18 @@ func main() {
 		}
 	}
 
-	var srv *observabilityServer
+	var srv *serve.Server
 	if *serveAddr != "" {
-		srv, err = serveObservability(*serveAddr, telem, tracer)
+		srv, err = startServer(*serveAddr, serve.Options{
+			Workers:     *serveWk,
+			Queue:       *serveQueue,
+			ArtifactDir: *artifactDir,
+			Collector:   telem,
+			Tracer:      tracer,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "smrsim: serving /metrics /trace /healthz /debug/pprof on %s\n", srv.Addr())
 	}
 
 	var ran []*mr.Job
@@ -320,8 +349,8 @@ func main() {
 	}
 
 	if srv != nil {
-		fmt.Fprintf(os.Stderr, "smrsim: run finished; still serving on %s (Ctrl-C to exit)\n", srv.Addr())
-		srv.Wait()
+		fmt.Fprintf(os.Stderr, "smrsim: run finished; still serving on %s (Ctrl-C drains and exits)\n", srv.Addr())
+		awaitShutdown(srv, *drainDur)
 	}
 }
 

@@ -1,83 +1,52 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"net"
-	"net/http"
-	"net/http/pprof"
-	"sync/atomic"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"smapreduce/internal/telemetry"
-	"smapreduce/internal/trace"
+	"smapreduce/internal/serve"
 )
 
-// observabilityServer exposes a run's collector and tracer over HTTP:
-//
-//	/metrics       Prometheus text (gauges, newest sample per series)
-//	/trace         Chrome trace-event JSON of everything recorded so far
-//	/healthz       {"status":"running"|"done"}
-//	/debug/pprof/  the standard Go profiler endpoints
-//
-// The collector and tracer are internally locked, so the endpoints are
-// safe to hit while the simulation is still running — /trace downloads
-// a consistent mid-run snapshot (open spans export as begin-only
-// events).
-type observabilityServer struct {
-	ln   net.Listener
-	done atomic.Bool
-	errc chan error
-}
-
-// serveObservability binds addr and starts serving in the background.
-// col and tr may each be nil; their endpoints then report 404.
-func serveObservability(addr string, col *telemetry.Collector, tr *trace.Tracer) (*observabilityServer, error) {
-	ln, err := net.Listen("tcp", addr)
+// startServer boots the simulation service on addr and prints the
+// bound address. The "listening on" line goes to stdout in a fixed
+// format so scripts (make serve-smoke) can parse the ephemeral port
+// from ":0".
+func startServer(addr string, opts serve.Options) (*serve.Server, error) {
+	srv, err := serve.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := &observabilityServer{ln: ln, errc: make(chan error, 1)}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		status := "running"
-		if s.done.Load() {
-			status = "done"
-		}
-		fmt.Fprintf(w, "{\"status\":%q}\n", status)
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if col == nil {
-			http.Error(w, "telemetry not enabled", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		col.WritePrometheus(w)
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		if tr == nil {
-			http.Error(w, "tracing not enabled", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Content-Disposition", "attachment; filename=\"smrsim-trace.json\"")
-		tr.WriteChromeJSON(w)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	go func() { s.errc <- http.Serve(ln, mux) }()
-	return s, nil
+	if err := srv.Start(addr); err != nil {
+		return nil, err
+	}
+	fmt.Printf("smrsim: listening on %s\n", srv.Addr())
+	fmt.Fprintf(os.Stderr,
+		"smrsim: serving /runs /ledger /version /metrics /trace /healthz /debug/pprof on %s\n",
+		srv.Addr())
+	return srv, nil
 }
 
-// Addr returns the bound address (useful with ":0").
-func (s *observabilityServer) Addr() string { return s.ln.Addr().String() }
-
-// MarkDone flips /healthz to "done".
-func (s *observabilityServer) MarkDone() { s.done.Store(true) }
-
-// Wait blocks until the server stops (normally never — Ctrl-C exits).
-func (s *observabilityServer) Wait() error { return <-s.errc }
+// awaitShutdown keeps the service up until SIGINT/SIGTERM, then drains
+// it gracefully: intake stops, queued and running simulations finish
+// (bounded by the -drain deadline), the ledger flushes, and the
+// listener closes. This replaces the old serve loop that blocked
+// forever and died mid-write on Ctrl-C.
+func awaitShutdown(srv *serve.Server, drain time.Duration) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	sig := <-sigc
+	fmt.Fprintf(os.Stderr, "smrsim: %v: draining runs (deadline %s)\n", sig, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "smrsim:", err)
+	}
+	if err := srv.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "smrsim:", err)
+	}
+}

@@ -96,6 +96,12 @@ type Options struct {
 	// arrival process: jobs are pulled from the source as virtual time
 	// advances. Run must then be called with no specs.
 	Arrivals mr.ArrivalSource
+	// Prepare, when non-nil, runs on the fully assembled cluster —
+	// controller, capacity policy, telemetry, tracing and event log
+	// already attached — just before the workload starts. The serve
+	// mode uses it to arm chaos schedules and the progress hook; a
+	// returned error aborts the run.
+	Prepare func(c *mr.Cluster) error
 }
 
 // Result is the outcome of running a workload on one engine.
@@ -194,6 +200,12 @@ func Run(engine Engine, opts Options, specs ...mr.JobSpec) (*Result, error) {
 		c.EnableTracing(opts.Tracer)
 		if mgr != nil {
 			mgr.AttachTracer(opts.Tracer)
+		}
+	}
+
+	if opts.Prepare != nil {
+		if err := opts.Prepare(c); err != nil {
+			return nil, err
 		}
 	}
 

@@ -87,6 +87,10 @@ type Cluster struct {
 	// (slot changes, barriers, job completion). Used by the examples.
 	Trace func(format string, args ...any)
 
+	// onProgress, when set, receives aggregate Progress snapshots at
+	// milestone instants (progress.go) — the serve mode's live stream.
+	onProgress func(Progress)
+
 	// events, when enabled, collects the structured runtime log.
 	events *EventLog
 
@@ -554,6 +558,7 @@ func (c *Cluster) submitJob(j *Job) {
 		c.emit(EvJobSubmitted, j.Spec.Name, "", -1, detail)
 		c.tracef("submit job %s (%d maps, %d reduces, %.0f MB)",
 			j.Spec.Name, j.NumMaps(), j.NumReduces(), j.Spec.InputMB)
+		c.progressMilestone(MilestoneJobSubmit, j.Spec.Name)
 		for _, tt := range c.trackers {
 			c.jt.assign(tt)
 		}
@@ -628,6 +633,7 @@ func (c *Cluster) sampleTick() {
 	if c.telem != nil {
 		c.telem.Tick(now)
 	}
+	c.progressMilestone(MilestoneSample, "")
 	if !c.stopped {
 		c.scheduleSampler()
 	}

@@ -221,6 +221,7 @@ func (c *Cluster) commitMap(m *mapTask) {
 		j.BarrierAt = c.clock.Now()
 		c.emit(EvBarrier, j.Spec.Name, "", -1, "")
 		c.traceBarrier(j)
+		c.progressMilestone(MilestoneJobBarrier, j.Spec.Name)
 		// Reducers blocked only on the barrier may now advance.
 		for _, r := range j.reduces {
 			if r.state == TaskRunning && r.phase == 0 {
@@ -597,6 +598,7 @@ func (c *Cluster) checkJobCompletion(j *Job) {
 	j.Progress.Sample(c.clock.Now(), 100, 100)
 	c.traceJobEnd(j)
 	c.emit(EvJobFinished, j.Spec.Name, "", -1, "")
+	c.progressMilestone(MilestoneJobFinished, j.Spec.Name)
 	c.jt.retire(j)
 	c.activeJobs--
 	if c.activeJobs == 0 && c.jobsToSubmit == 0 {

@@ -17,6 +17,7 @@ import (
 //	PIDJobs         job lifecycle spans, barrier instants
 //	PIDController   slot-manager tick spans and decision instants
 //	PIDNetwork      flow spans (verbosity-gated)
+//	PIDProgress     aggregate progress milestone instants (progress.go)
 //	PIDTrackerBase+i  tracker i: task attempt spans on slot lanes,
 //	                  drain spans, slot-change/speculation instants
 
@@ -31,6 +32,7 @@ func (c *Cluster) EnableTracing(tr *trace.Tracer) {
 	c.tracer = tr
 	tr.SetTrackName(trace.PIDJobs, "jobs")
 	tr.SetTrackName(trace.PIDController, "controller")
+	tr.SetTrackName(trace.PIDProgress, "progress")
 	for i := range c.trackers {
 		tr.SetTrackName(trace.PIDTrackerBase+i, "tt"+strconv.Itoa(i))
 	}

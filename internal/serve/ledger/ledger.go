@@ -1,0 +1,345 @@
+// Package ledger is the tamper-evident run ledger behind the
+// simulation service: every completed run's artifact set is
+// content-hashed, the hashes are batched into a Merkle tree, and the
+// tree's root is appended to a hash-linked chain of entries. Any
+// published number can then be verified byte-for-byte against its
+// recorded inputs — re-hash the artifacts, rebuild the root, walk the
+// chain — with nothing trusted but the chain head.
+//
+// The design follows the Merkle-batching audit-log pipeline referenced
+// in SNIPPETS.md: leaves are sha256 digests of whole artifacts (the
+// scenario document first, so the recorded *inputs* are part of every
+// proof), the tree duplicates the last node at odd levels, and each
+// entry's hash covers the previous entry's hash, giving an
+// append-only chain whose every prefix is independently checkable.
+//
+// Determinism contract: the leaf hashes and the Merkle root are pure
+// functions of the artifact bytes, which are themselves pure functions
+// of the scenario (the simulation is deterministic), so resubmitting a
+// scenario reproduces its leaves and root bit-for-bit. Only the entry
+// hash differs across resubmissions — it chains the run's position in
+// history, not its content.
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Genesis is the Prev value of the first entry: 32 zero bytes, hex.
+const Genesis = "0000000000000000000000000000000000000000000000000000000000000000"
+
+// Artifact records one named artifact's content digest and size.
+type Artifact struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Size   int64  `json:"size"`
+}
+
+// Entry is one ledger record: a run's artifact digests batched under a
+// Merkle root and chained to the previous entry.
+type Entry struct {
+	// Index is the entry's position in the chain, from 0.
+	Index int `json:"index"`
+	// RunID names the run in the service registry.
+	RunID string `json:"run_id"`
+	// Artifacts lists the run's artifact digests in the fixed artifact
+	// order; Artifacts[0] is the scenario document (the recorded input).
+	Artifacts []Artifact `json:"artifacts"`
+	// Root is the Merkle root over the artifact digests, hex.
+	Root string `json:"merkle_root"`
+	// Prev is the previous entry's Hash (Genesis for entry 0), hex.
+	Prev string `json:"prev"`
+	// Hash is this entry's digest over every field above, hex.
+	Hash string `json:"hash"`
+}
+
+// MerkleRoot folds the leaf digests into a root: pairs are hashed
+// together level by level, an odd node is paired with itself (the
+// Bitcoin convention), and a single leaf hashes once more so a root is
+// never confused with a leaf. Panics on zero leaves — an empty
+// artifact set is a caller bug, not a verifiable state.
+func MerkleRoot(leaves [][sha256.Size]byte) [sha256.Size]byte {
+	if len(leaves) == 0 {
+		panic("ledger: MerkleRoot of zero leaves")
+	}
+	level := make([][sha256.Size]byte, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			a := level[i]
+			b := a
+			if i+1 < len(level) {
+				b = level[i+1]
+			}
+			next = append(next, hashPair(a, b))
+		}
+		level = next
+	}
+	if len(leaves) == 1 {
+		return hashPair(level[0], level[0])
+	}
+	return level[0]
+}
+
+func hashPair(a, b [sha256.Size]byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(a[:])
+	h.Write(b[:])
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// entryHash computes an entry's chain digest: a canonical,
+// field-delimited rendering of everything except Hash itself. The
+// rendering is versioned by its leading tag so a future schema change
+// cannot silently collide with v1 digests.
+func entryHash(e Entry) string {
+	h := sha256.New()
+	io.WriteString(h, "smr-ledger-v1\x00")
+	io.WriteString(h, strconv.Itoa(e.Index))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, e.RunID)
+	io.WriteString(h, "\x00")
+	for _, a := range e.Artifacts {
+		io.WriteString(h, a.Name)
+		io.WriteString(h, "\x01")
+		io.WriteString(h, a.SHA256)
+		io.WriteString(h, "\x01")
+		io.WriteString(h, strconv.FormatInt(a.Size, 10))
+		io.WriteString(h, "\x00")
+	}
+	io.WriteString(h, e.Root)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, e.Prev)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Ledger is an append-only, hash-linked chain of run entries, safe for
+// concurrent use. With a persistence path set, every appended entry is
+// also written (and fsync'd) as one JSONL line, so the on-disk chain
+// survives the process and cmd/ledgercheck can verify it offline.
+type Ledger struct {
+	mu      sync.Mutex
+	entries []Entry
+	file    *os.File
+}
+
+// New returns an empty in-memory ledger.
+func New() *Ledger { return &Ledger{} }
+
+// Open returns a ledger persisted to path (JSONL, one entry per
+// line). An existing file is loaded and becomes the chain's prefix —
+// after verifying it, so a tampered file refuses to extend.
+func Open(path string) (*Ledger, error) {
+	l := &Ledger{}
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		entries, err := ParseJSONL(data)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: %s: %w", path, err)
+		}
+		if err := VerifyChain(entries); err != nil {
+			return nil, fmt.Errorf("ledger: %s fails verification: %w", path, err)
+		}
+		l.entries = entries
+	} else if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.file = f
+	return l, nil
+}
+
+// Append hashes the artifact contents, builds the Merkle root and
+// chains a new entry. The artifact order given is the recorded order;
+// callers must keep it fixed per schema (scenario first).
+func (l *Ledger) Append(runID string, names []string, contents [][]byte) (Entry, error) {
+	if len(names) == 0 || len(names) != len(contents) {
+		return Entry{}, fmt.Errorf("ledger: %d names for %d artifact bodies", len(names), len(contents))
+	}
+	arts := make([]Artifact, len(names))
+	leaves := make([][sha256.Size]byte, len(names))
+	for i, name := range names {
+		leaves[i] = sha256.Sum256(contents[i])
+		arts[i] = Artifact{Name: name, SHA256: hex.EncodeToString(leaves[i][:]), Size: int64(len(contents[i]))}
+	}
+	root := MerkleRoot(leaves)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Entry{
+		Index:     len(l.entries),
+		RunID:     runID,
+		Artifacts: arts,
+		Root:      hex.EncodeToString(root[:]),
+		Prev:      Genesis,
+	}
+	if n := len(l.entries); n > 0 {
+		e.Prev = l.entries[n-1].Hash
+	}
+	e.Hash = entryHash(e)
+	if l.file != nil {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return Entry{}, err
+		}
+		if _, err := l.file.Write(append(line, '\n')); err != nil {
+			return Entry{}, fmt.Errorf("ledger: appending entry %d: %w", e.Index, err)
+		}
+		if err := l.file.Sync(); err != nil {
+			return Entry{}, err
+		}
+	}
+	l.entries = append(l.entries, e)
+	return e, nil
+}
+
+// Entries returns a copy of the chain.
+func (l *Ledger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len returns the chain length.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Head returns the newest entry and true, or a zero Entry and false
+// for an empty ledger.
+func (l *Ledger) Head() (Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return Entry{}, false
+	}
+	return l.entries[len(l.entries)-1], true
+}
+
+// Close releases the persistence file, if any.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	err := l.file.Close()
+	l.file = nil
+	return err
+}
+
+// WriteJSON renders the chain as a JSON array — the GET /ledger body.
+func (l *Ledger) WriteJSON(w io.Writer) error {
+	l.mu.Lock()
+	entries := make([]Entry, len(l.entries))
+	copy(entries, l.entries)
+	l.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL decodes a JSONL chain as persisted by Open/Append.
+func ParseJSONL(data []byte) ([]Entry, error) {
+	var entries []Entry
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", len(entries), err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// VerifyChain checks a chain's internal consistency: contiguous
+// indices from 0, each Prev matching the previous Hash (Genesis
+// first), every entry's Hash and Merkle root recomputing from its
+// recorded fields. It does not touch artifact bodies — pair with
+// VerifyArtifacts for byte-level verification.
+func VerifyChain(entries []Entry) error {
+	prev := Genesis
+	for i, e := range entries {
+		if e.Index != i {
+			return fmt.Errorf("entry %d: recorded index %d", i, e.Index)
+		}
+		if e.Prev != prev {
+			return fmt.Errorf("entry %d: prev hash %.12s does not match predecessor %.12s", i, e.Prev, prev)
+		}
+		if len(e.Artifacts) == 0 {
+			return fmt.Errorf("entry %d: no artifacts", i)
+		}
+		leaves, err := leafDigests(e)
+		if err != nil {
+			return fmt.Errorf("entry %d: %w", i, err)
+		}
+		root := MerkleRoot(leaves)
+		if got := hex.EncodeToString(root[:]); got != e.Root {
+			return fmt.Errorf("entry %d: merkle root %.12s does not recompute (got %.12s)", i, e.Root, got)
+		}
+		if got := entryHash(e); got != e.Hash {
+			return fmt.Errorf("entry %d: entry hash %.12s does not recompute (got %.12s)", i, e.Hash, got)
+		}
+		prev = e.Hash
+	}
+	return nil
+}
+
+// VerifyArtifacts checks one entry's recorded digests against the
+// artifact bodies fetch returns — the byte-for-byte half of
+// verification. fetch is called once per artifact name.
+func VerifyArtifacts(e Entry, fetch func(name string) ([]byte, error)) error {
+	for _, a := range e.Artifacts {
+		body, err := fetch(a.Name)
+		if err != nil {
+			return fmt.Errorf("run %s: artifact %s: %w", e.RunID, a.Name, err)
+		}
+		if int64(len(body)) != a.Size {
+			return fmt.Errorf("run %s: artifact %s: %d bytes, ledger records %d", e.RunID, a.Name, len(body), a.Size)
+		}
+		sum := sha256.Sum256(body)
+		if got := hex.EncodeToString(sum[:]); got != a.SHA256 {
+			return fmt.Errorf("run %s: artifact %s: content hash %.12s does not match ledger %.12s",
+				e.RunID, a.Name, got, a.SHA256)
+		}
+	}
+	return nil
+}
+
+// leafDigests decodes an entry's recorded artifact digests.
+func leafDigests(e Entry) ([][sha256.Size]byte, error) {
+	leaves := make([][sha256.Size]byte, len(e.Artifacts))
+	for i, a := range e.Artifacts {
+		raw, err := hex.DecodeString(a.SHA256)
+		if err != nil || len(raw) != sha256.Size {
+			return nil, fmt.Errorf("artifact %s: bad digest %q", a.Name, a.SHA256)
+		}
+		copy(leaves[i][:], raw)
+	}
+	return leaves, nil
+}

@@ -1,0 +1,204 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func leaf(s string) [sha256.Size]byte { return sha256.Sum256([]byte(s)) }
+
+// TestMerkleRootShape pins structural properties of the tree: root
+// depends on every leaf, on leaf order, and a single leaf is rehashed
+// so it cannot impersonate its own root.
+func TestMerkleRootShape(t *testing.T) {
+	a, b, c := leaf("a"), leaf("b"), leaf("c")
+
+	r2 := MerkleRoot([][sha256.Size]byte{a, b})
+	if r2 == hashPair(b, a) || r2 != hashPair(a, b) {
+		t.Error("two-leaf root must be H(a||b), order-sensitive")
+	}
+	// Odd level duplicates the last node.
+	r3 := MerkleRoot([][sha256.Size]byte{a, b, c})
+	if want := hashPair(hashPair(a, b), hashPair(c, c)); r3 != want {
+		t.Error("three-leaf root must duplicate the odd node")
+	}
+	// A single leaf is domain-separated from its content hash.
+	r1 := MerkleRoot([][sha256.Size]byte{a})
+	if r1 == a {
+		t.Error("single-leaf root equals the leaf")
+	}
+	if r1 != hashPair(a, a) {
+		t.Error("single-leaf root must be H(a||a)")
+	}
+	// Changing any leaf changes the root.
+	if MerkleRoot([][sha256.Size]byte{a, b, leaf("c'")}) == r3 {
+		t.Error("root insensitive to last leaf")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("MerkleRoot of zero leaves did not panic")
+		}
+	}()
+	MerkleRoot(nil)
+}
+
+// buildChain appends n runs of deterministic artifacts.
+func buildChain(t *testing.T, l *Ledger, n int) []Entry {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, err := l.Append(fmt.Sprintf("r%06d", i),
+			[]string{"scenario.json", "stats.json"},
+			[][]byte{[]byte(fmt.Sprintf(`{"seed":%d}`, i)), []byte(`{"ok":true}`)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l.Entries()
+}
+
+func TestChainVerifies(t *testing.T) {
+	l := New()
+	entries := buildChain(t, l, 5)
+	if err := VerifyChain(entries); err != nil {
+		t.Fatalf("honest chain failed verification: %v", err)
+	}
+	if entries[0].Prev != Genesis {
+		t.Errorf("entry 0 prev = %s", entries[0].Prev)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Prev != entries[i-1].Hash {
+			t.Errorf("entry %d not linked", i)
+		}
+	}
+	head, ok := l.Head()
+	if !ok || head.Index != 4 {
+		t.Errorf("Head = %+v, %v", head, ok)
+	}
+}
+
+// TestChainDetectsTampering flips one field at a time and expects
+// verification to fail each way.
+func TestChainDetectsTampering(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(e []Entry)
+	}{
+		{"artifact digest", func(e []Entry) { e[2].Artifacts[1].SHA256 = strings.Repeat("ab", 32) }},
+		{"artifact size", func(e []Entry) { e[2].Artifacts[0].Size++ }},
+		{"merkle root", func(e []Entry) { e[1].Root = e[0].Root }},
+		{"run id", func(e []Entry) { e[3].RunID = "r999999" }},
+		{"dropped entry", func(e []Entry) { copy(e[1:], e[2:]) }},
+		{"reordered link", func(e []Entry) { e[1], e[2] = e[2], e[1] }},
+		{"rewritten history", func(e []Entry) { e[0].Hash = entryHash(e[0]) }}, // stale: mutate first
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			entries := buildChain(t, New(), 5)
+			if tc.name == "rewritten history" {
+				entries[0].RunID = "forged"
+			}
+			tc.mutate(entries)
+			if err := VerifyChain(entries); err == nil {
+				t.Fatalf("%s: tampered chain verified", tc.name)
+			}
+		})
+	}
+}
+
+func TestVerifyArtifacts(t *testing.T) {
+	l := New()
+	bodies := map[string][]byte{
+		"scenario.json": []byte(`{"seed":7}`),
+		"stats.json":    []byte(`{"jobs":2}`),
+	}
+	e, err := l.Append("r000000", []string{"scenario.json", "stats.json"},
+		[][]byte{bodies["scenario.json"], bodies["stats.json"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(name string) ([]byte, error) { return bodies[name], nil }
+	if err := VerifyArtifacts(e, fetch); err != nil {
+		t.Fatalf("honest artifacts failed: %v", err)
+	}
+	bodies["stats.json"] = []byte(`{"jobs":3}`)
+	if err := VerifyArtifacts(e, fetch); err == nil {
+		t.Fatal("tampered artifact verified")
+	}
+}
+
+// TestOpenPersistsAndReloads exercises the JSONL persistence loop:
+// append, reopen, extend, verify — and refuse a tampered file.
+func TestOpenPersistsAndReloads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildChain(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l2.Len() != 3 {
+		t.Fatalf("reloaded %d entries, want 3", l2.Len())
+	}
+	if _, err := l2.Append("r000003", []string{"scenario.json"}, [][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ParseJSONL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("file holds %d entries, want 4", len(entries))
+	}
+	if err := VerifyChain(entries); err != nil {
+		t.Fatalf("persisted chain failed verification: %v", err)
+	}
+
+	// A tampered file must refuse to open for appending.
+	tampered := strings.Replace(string(data), "r000003", "r999999", 1)
+	bad := filepath.Join(t.TempDir(), "ledger.jsonl")
+	os.WriteFile(bad, []byte(tampered), 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Fatal("tampered ledger opened for appending")
+	}
+}
+
+func TestAppendRejectsBadInput(t *testing.T) {
+	l := New()
+	if _, err := l.Append("r0", nil, nil); err == nil {
+		t.Error("empty artifact set accepted")
+	}
+	if _, err := l.Append("r0", []string{"a"}, [][]byte{[]byte("x"), []byte("y")}); err == nil {
+		t.Error("mismatched names/bodies accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	l := New()
+	buildChain(t, l, 2)
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"run_id": "r000000"`) || !strings.Contains(out, `"merkle_root"`) {
+		t.Errorf("WriteJSON output unexpected:\n%s", out)
+	}
+}

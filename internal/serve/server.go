@@ -1,0 +1,434 @@
+// Package serve runs simulations as a service: scenarios POSTed to a
+// run registry execute on a bounded worker pool (recycled substrate
+// per worker, fleet-runner style), stream progress and telemetry live
+// over SSE while they run, and publish their artifact set — scenario,
+// event log, trace, audit trail, telemetry, stats — once finished.
+// Every completed run's artifacts are content-hashed, Merkle-batched
+// and appended to the hash-linked ledger, so any served number can be
+// re-verified offline (cmd/ledgercheck) against the recorded inputs.
+//
+// The HTTP surface:
+//
+//	POST /runs              submit a scenario; 202 + run id, or 429 when saturated
+//	GET  /runs              list the registry
+//	GET  /runs/{id}         one run's state
+//	GET  /runs/{id}/events  SSE stream: started, telemetry, progress, done|failed
+//	GET  /runs/{id}/{artifact}  scenario|log|trace|audit|telemetry|stats
+//	GET  /ledger            the hash-linked run ledger (JSON array)
+//	GET  /version           build identity of the serving binary
+//	GET  /healthz           {"status":"running"|"done"}
+//	GET  /metrics           Prometheus text for the attached live collector
+//	GET  /trace             Chrome trace JSON for the attached live tracer
+//	GET  /debug/pprof/      the standard Go profiler endpoints
+//
+// Simulations stay single-threaded and deterministic; the service adds
+// concurrency only between runs, never inside one.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"smapreduce/internal/serve/ledger"
+	"smapreduce/internal/telemetry"
+	"smapreduce/internal/trace"
+)
+
+// maxScenarioBytes bounds a POST /runs body.
+const maxScenarioBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the pool size — how many simulations run concurrently
+	// (default 2).
+	Workers int
+	// Queue is the accepted-but-not-running depth beyond the workers;
+	// a full queue sheds new runs with 429 (default: Workers).
+	Queue int
+	// ArtifactDir, when set, mirrors every finished run's artifacts to
+	// ArtifactDir/<runID>/<name> and persists the ledger to
+	// ArtifactDir/ledger.jsonl for offline verification.
+	ArtifactDir string
+	// Collector, when non-nil, serves live Prometheus text on /metrics
+	// (the in-process run's collector in smrsim's -serve mode).
+	Collector *telemetry.Collector
+	// Tracer, when non-nil, serves Chrome trace JSON on /trace.
+	Tracer *trace.Tracer
+}
+
+// Server is the simulation service: registry + pool + ledger behind
+// the HTTP API.
+type Server struct {
+	opts   Options
+	reg    *registry
+	pool   *pool
+	ledger *ledger.Ledger
+
+	submitMu sync.Mutex
+
+	ln   net.Listener
+	hs   *http.Server
+	errc chan error
+	done atomic.Bool
+
+	shutdownOnce sync.Once
+}
+
+// New assembles a server. With Options.ArtifactDir set, an existing
+// ledger file is verified and extended; a tampered one refuses.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = opts.Workers
+	}
+	s := &Server{
+		opts: opts,
+		reg:  newRegistry(),
+		errc: make(chan error, 1),
+	}
+	if opts.ArtifactDir != "" {
+		if err := os.MkdirAll(opts.ArtifactDir, 0o755); err != nil {
+			return nil, err
+		}
+		l, err := ledger.Open(filepath.Join(opts.ArtifactDir, "ledger.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		s.ledger = l
+	} else {
+		s.ledger = ledger.New()
+	}
+	s.pool = newPool(opts.Workers, opts.Queue, s.finishRun)
+	s.hs = &http.Server{Handler: s.mux()}
+	return s, nil
+}
+
+// finishRun persists a completed run's artifacts, appends its ledger
+// entry and flips it to StateDone. Runs finish one at a time through
+// here, so ledger order matches completion order.
+func (s *Server) finishRun(r *Run, arts map[string][]byte) error {
+	names := ArtifactNames()
+	contents := make([][]byte, len(names))
+	for i, name := range names {
+		body, ok := arts[name]
+		if !ok {
+			return fmt.Errorf("serve: run %s missing artifact %s", r.ID, name)
+		}
+		contents[i] = body
+	}
+	if s.opts.ArtifactDir != "" {
+		dir := filepath.Join(s.opts.ArtifactDir, r.ID)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for i, name := range names {
+			if err := os.WriteFile(filepath.Join(dir, name), contents[i], 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	entry, err := s.ledger.Append(r.ID, names, contents)
+	if err != nil {
+		return err
+	}
+	r.complete(arts, entry)
+	return nil
+}
+
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /runs/{id}/{artifact}", s.handleArtifact)
+	mux.HandleFunc("GET /ledger", s.handleLedger)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (":0" for an ephemeral port) and serves until
+// Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() {
+		err := s.hs.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.errc <- err
+	}()
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Wait blocks until the serve loop exits (after Shutdown) and returns
+// its error.
+func (s *Server) Wait() error { return <-s.errc }
+
+// MarkDone flips /healthz to "done" — smrsim's signal that the
+// in-process simulation finished while the server keeps serving.
+func (s *Server) MarkDone() { s.done.Store(true) }
+
+// Shutdown gracefully stops the service: intake closes (submissions
+// shed with 503), queued and running simulations drain, the ledger
+// flushes, and the HTTP listener closes. The context bounds the whole
+// drain — an expired context abandons in-flight runs and closes
+// anyway. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdownOnce.Do(func() {
+		drained := make(chan struct{})
+		go func() {
+			s.pool.drain()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			err = fmt.Errorf("serve: drain abandoned: %w", ctx.Err())
+		}
+		if cerr := s.ledger.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if herr := s.hs.Shutdown(ctx); herr != nil && err == nil {
+			err = herr
+		}
+	})
+	return err
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxScenarioBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading scenario: %v", err)
+		return
+	}
+	sc, err := ParseScenario(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canonical, err := sc.Canonical()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "scenario: %v", err)
+		return
+	}
+	// Registration and submission are atomic together so a shed run
+	// never lingers in the registry.
+	s.submitMu.Lock()
+	run := s.reg.add(sc, canonical)
+	err = s.pool.submit(run)
+	if err != nil {
+		s.reg.remove(run.ID)
+	}
+	s.submitMu.Unlock()
+	switch err {
+	case nil:
+	case ErrSaturated:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, run.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.list())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run := s.reg.get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	writeJSON(w, http.StatusOK, run.Info())
+}
+
+// artifactRoutes maps URL artifact segments to artifact names. The
+// event log serves as "log" because /runs/{id}/events is the SSE
+// stream.
+var artifactRoutes = map[string]string{
+	"scenario":  ArtifactScenario,
+	"log":       ArtifactEvents,
+	"trace":     ArtifactTrace,
+	"audit":     ArtifactAudit,
+	"telemetry": ArtifactTelemetry,
+	"stats":     ArtifactStats,
+}
+
+// artifactContentType returns the MIME type for an artifact name.
+func artifactContentType(name string) string {
+	switch filepath.Ext(name) {
+	case ".json":
+		return "application/json"
+	case ".jsonl":
+		return "application/x-ndjson"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	run := s.reg.get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	name, ok := artifactRoutes[r.PathValue("artifact")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such artifact (want one of scenario, log, trace, audit, telemetry, stats)")
+		return
+	}
+	state, errMsg := run.State()
+	switch state {
+	case StateDone:
+	case StateFailed:
+		writeError(w, http.StatusConflict, "run failed: %s", errMsg)
+		return
+	default:
+		writeError(w, http.StatusConflict, "run is %s; artifacts appear at done", state)
+		return
+	}
+	w.Header().Set("Content-Type", artifactContentType(name))
+	w.WriteHeader(http.StatusOK)
+	w.Write(run.Artifact(name))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run := s.reg.get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := run.hub.subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // stream sealed by the terminal event
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event in SSE wire format. Payloads are
+// single-line JSON, so one data: line suffices.
+func writeSSE(w io.Writer, ev StreamEvent) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, ev.Data)
+}
+
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.ledger.WriteJSON(w)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"version":   telemetry.BuildVersion(),
+		"goversion": runtime.Version(),
+		"goos":      runtime.GOOS,
+		"goarch":    runtime.GOARCH,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "running"
+	if s.done.Load() {
+		status = "done"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Collector == nil {
+		writeError(w, http.StatusNotFound, "no live collector attached")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.opts.Collector.WritePrometheus(w)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.opts.Tracer.Enabled() {
+		writeError(w, http.StatusNotFound, "tracing not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.opts.Tracer.WriteChromeJSON(w)
+}

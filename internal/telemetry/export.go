@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strings"
 )
 
@@ -29,24 +31,43 @@ func WriteFile(col *Collector, path string) error {
 
 // WritePrometheus renders the newest sample of every series in the
 // Prometheus text exposition format, one gauge per series named
-// smr_<series> with characters outside [a-zA-Z0-9_] folded to '_'.
-// Non-finite values keep their text spellings (NaN, +Inf), which the
-// format admits.
+// smr_<series> with characters outside [a-zA-Z0-9_] folded to '_',
+// each preceded by its # HELP and # TYPE metadata lines. A constant
+// smr_build_info gauge carries the module version and platform as
+// labels, the convention dashboards join on. Non-finite values keep
+// their text spellings (NaN, +Inf), which the format admits.
 func (c *Collector) WritePrometheus(w io.Writer) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw,
+		"# HELP smr_build_info Build metadata of the serving binary (value is always 1).\n"+
+			"# TYPE smr_build_info gauge\n"+
+			"smr_build_info{version=%q,goversion=%q,goos=%q,goarch=%q} 1\n",
+		BuildVersion(), runtime.Version(), runtime.GOOS, runtime.GOARCH); err != nil {
+		return err
+	}
 	for _, p := range c.probes {
 		if p.s.Len() == 0 {
 			continue
 		}
 		name := promName(p.s.name)
-		if _, err := fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n",
-			name, name, formatValue(p.s.Last().V)); err != nil {
+		if _, err := fmt.Fprintf(bw, "# HELP %s Newest sample of telemetry series %q.\n# TYPE %s gauge\n%s %s\n",
+			name, p.s.name, name, name, formatValue(p.s.Last().V)); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// BuildVersion reports the main module's version as recorded in the
+// binary's build info: a tag for released builds, a pseudo-version for
+// module builds, "devel" when built from a source tree.
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
 }
 
 // promName maps a series name to a valid Prometheus metric name.

@@ -1,0 +1,123 @@
+package telemetry
+
+// Streaming subscription layer: the push-based counterpart to the
+// Collector's pull exports. A Subscription receives one TickSample per
+// Tick — every registered series' value at that instant — over a
+// buffered channel, which is how the serve mode forwards live
+// telemetry into a run's SSE stream without the simulation goroutine
+// ever blocking on a slow consumer.
+//
+// Delivery is best-effort by design: when a subscriber's channel is
+// full the sample is dropped and counted, never waited on. The
+// simulation's determinism therefore cannot depend on who is
+// listening — subscribers observe the run, they do not pace it.
+
+// TickSample is one Tick's snapshot across all registered series,
+// row-aligned like every other collector export: Names[i] sampled
+// Values[i] at virtual time T. Both slices are private copies the
+// receiver may retain.
+type TickSample struct {
+	// Seq is the tick ordinal (1 for the first Tick after subscribing
+	// from an empty collector); gaps in a subscriber's observed
+	// sequence reveal drops.
+	Seq int
+	// T is the virtual sample time.
+	T float64
+	// Names lists the series names in registration order.
+	Names []string
+	// Values holds the sampled value per series, aligned with Names.
+	Values []float64
+}
+
+// Subscription is one live feed of TickSamples. Receive from C;
+// Cancel when done (C is then closed after any buffered samples are
+// drained by the receiver).
+type Subscription struct {
+	// C delivers one TickSample per Tick, minus drops. Closed by
+	// Cancel, and by Collector.Reset.
+	C <-chan TickSample
+
+	c       *Collector
+	ch      chan TickSample
+	dropped int
+	closed  bool
+}
+
+// Subscribe attaches a streaming subscriber whose channel buffers up
+// to buf samples (non-positive means 256). Samples that arrive while
+// the buffer is full are dropped, not waited for — see Dropped.
+func (c *Collector) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = 256
+	}
+	sub := &Subscription{c: c, ch: make(chan TickSample, buf)}
+	sub.C = sub.ch
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subs = append(c.subs, sub)
+	return sub
+}
+
+// Cancel detaches the subscription and closes its channel. Safe to
+// call more than once, and safe concurrently with Tick.
+func (s *Subscription) Cancel() {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.c.cancelLocked(s)
+}
+
+// Dropped returns how many samples were discarded because the
+// subscriber's buffer was full.
+func (s *Subscription) Dropped() int {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return s.dropped
+}
+
+// cancelLocked removes sub from the collector and closes its channel.
+// Caller holds c.mu.
+func (c *Collector) cancelLocked(sub *Subscription) {
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	close(sub.ch)
+	for i, s := range c.subs {
+		if s == sub {
+			c.subs = append(c.subs[:i], c.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// publishLocked fans one tick's snapshot out to every subscriber.
+// Caller holds c.mu; the snapshot slices are built once and shared by
+// value — TickSample slices are never mutated after publication.
+func (c *Collector) publishLocked(now float64) {
+	if len(c.subs) == 0 {
+		return
+	}
+	names := make([]string, len(c.probes))
+	values := make([]float64, len(c.probes))
+	for i, p := range c.probes {
+		names[i] = p.s.name
+		values[i] = p.s.Last().V
+	}
+	sample := TickSample{Seq: c.ticks, T: now, Names: names, Values: values}
+	for _, sub := range c.subs {
+		select {
+		case sub.ch <- sample:
+		default:
+			sub.dropped++
+		}
+	}
+}
+
+// closeSubsLocked cancels every subscription — Reset's path, so a
+// pooled collector never leaks feeds (or their forwarding goroutines)
+// across runs. Caller holds c.mu.
+func (c *Collector) closeSubsLocked() {
+	for len(c.subs) > 0 {
+		c.cancelLocked(c.subs[len(c.subs)-1])
+	}
+}

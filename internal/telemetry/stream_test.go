@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSubscribeDeliversTickSamples pins the streaming contract: one
+// row-aligned sample per Tick, names in registration order, values
+// matching the probes at that instant.
+func TestSubscribeDeliversTickSamples(t *testing.T) {
+	col := NewCollector(16)
+	v := 1.0
+	col.Register("a", func() float64 { return v })
+	col.Register("b", func() float64 { return 2 * v })
+
+	sub := col.Subscribe(8)
+	col.Tick(1)
+	v = 5
+	col.Tick(2)
+	sub.Cancel()
+
+	var got []TickSample
+	for s := range sub.C {
+		got = append(got, s)
+	}
+	if len(got) != 2 {
+		t.Fatalf("received %d samples, want 2", len(got))
+	}
+	if got[0].Seq != 1 || got[0].T != 1 || got[1].Seq != 2 || got[1].T != 2 {
+		t.Errorf("seq/t wrong: %+v", got)
+	}
+	for i, s := range got {
+		if len(s.Names) != 2 || s.Names[0] != "a" || s.Names[1] != "b" {
+			t.Fatalf("sample %d names = %v", i, s.Names)
+		}
+	}
+	if got[0].Values[0] != 1 || got[0].Values[1] != 2 {
+		t.Errorf("first sample values = %v", got[0].Values)
+	}
+	if got[1].Values[0] != 5 || got[1].Values[1] != 10 {
+		t.Errorf("second sample values = %v", got[1].Values)
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Errorf("Dropped = %d, want 0", d)
+	}
+}
+
+// TestSubscribeDropsWhenFull pins the non-blocking guarantee: a full
+// subscriber buffer sheds samples (counted, with visible sequence
+// gaps) instead of stalling Tick.
+func TestSubscribeDropsWhenFull(t *testing.T) {
+	col := NewCollector(16)
+	col.Register("x", func() float64 { return 1 })
+	sub := col.Subscribe(2)
+	for i := 1; i <= 5; i++ {
+		col.Tick(float64(i))
+	}
+	if d := sub.Dropped(); d != 3 {
+		t.Errorf("Dropped = %d, want 3", d)
+	}
+	sub.Cancel()
+	var seqs []int
+	for s := range sub.C {
+		seqs = append(seqs, s.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Errorf("retained seqs = %v, want [1 2]", seqs)
+	}
+}
+
+// TestSubscriptionCancelIsIdempotent also checks that a cancelled
+// subscriber stops receiving while others continue.
+func TestSubscriptionCancelIsIdempotent(t *testing.T) {
+	col := NewCollector(16)
+	col.Register("x", func() float64 { return 1 })
+	a := col.Subscribe(8)
+	b := col.Subscribe(8)
+	col.Tick(1)
+	a.Cancel()
+	a.Cancel() // must not panic or double-close
+	col.Tick(2)
+	b.Cancel()
+
+	na := 0
+	for range a.C {
+		na++
+	}
+	nb := 0
+	for range b.C {
+		nb++
+	}
+	if na != 1 || nb != 2 {
+		t.Errorf("a received %d, b received %d; want 1 and 2", na, nb)
+	}
+}
+
+// TestResetCancelsSubscriptions: a pooled collector must not leak live
+// feeds across runs — Reset closes every subscriber channel.
+func TestResetCancelsSubscriptions(t *testing.T) {
+	col := NewCollector(16)
+	col.Register("x", func() float64 { return 1 })
+	sub := col.Subscribe(8)
+	col.Tick(1)
+	col.Reset()
+	n := 0
+	for range sub.C {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("received %d samples before close, want 1", n)
+	}
+	// A post-reset tick must not reach (or panic on) the dead sub.
+	col.Register("y", func() float64 { return 2 })
+	col.Tick(1)
+}
+
+// TestWritePrometheusBuildInfo pins the smr_build_info metric and the
+// HELP/TYPE metadata lines the satellite adds.
+func TestWritePrometheusBuildInfo(t *testing.T) {
+	col := NewCollector(8)
+	col.Register("v", func() float64 { return 7 })
+	col.Tick(1)
+	var b strings.Builder
+	if err := col.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP smr_build_info ",
+		"# TYPE smr_build_info gauge\n",
+		"smr_build_info{version=",
+		"goos=",
+		"# HELP smr_v ",
+		"# TYPE smr_v gauge\nsmr_v 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if BuildVersion() == "" {
+		t.Error("BuildVersion is empty")
+	}
+}

@@ -137,6 +137,7 @@ type Collector struct {
 	times    *Series // tick instants, for late-registration backfill
 	ticks    int
 	free     []*Series // retired rings recycled by Register after Reset
+	subs     []*Subscription
 }
 
 // NewCollector returns an empty collector whose series each retain up
@@ -196,6 +197,7 @@ func (c *Collector) Reset() {
 	clear(c.byName)
 	c.times.reset("t")
 	c.ticks = 0
+	c.closeSubsLocked()
 }
 
 // Tick samples every registered probe at virtual time now.
@@ -207,6 +209,7 @@ func (c *Collector) Tick(now float64) {
 	for _, p := range c.probes {
 		p.s.Append(now, p.fn())
 	}
+	c.publishLocked(now)
 }
 
 // Ticks returns how many times Tick has run.

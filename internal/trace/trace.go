@@ -50,6 +50,7 @@ const (
 	PIDJobs        = 1
 	PIDController  = 2
 	PIDNetwork     = 3
+	PIDProgress    = 4
 	PIDTrackerBase = 10
 )
 

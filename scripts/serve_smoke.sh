@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the simulation service: boot
+# smrsim in -serve-only mode on an ephemeral port, submit a scenario,
+# require the SSE stream to end in a `done` event, resubmit the same
+# scenario and require identical Merkle roots (determinism), shut the
+# service down gracefully, then verify the persisted ledger offline
+# with ledgercheck.
+#
+# Usage: scripts/serve_smoke.sh [WORKDIR]   (default: serve-smoke-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=${1:-serve-smoke-out}
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+go build -o "$workdir/smrsim" ./cmd/smrsim
+go build -o "$workdir/ledgercheck" ./cmd/ledgercheck
+
+"$workdir/smrsim" -serve-only -serve 127.0.0.1:0 -serve-workers 2 \
+  -artifact-dir "$workdir/artifacts" \
+  > "$workdir/serve.log" 2> "$workdir/serve.err" &
+pid=$!
+cleanup() {
+  kill -TERM "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# The service prints "smrsim: listening on ADDR" to stdout; poll for it.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^smrsim: listening on //p' "$workdir/serve.log" | head -n 1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "serve_smoke: server never reported its address" >&2
+  cat "$workdir/serve.err" >&2
+  exit 1
+fi
+echo "serve_smoke: service at $addr"
+
+scenario='{"engine":"smapreduce","seed":7,"workers":8,"jobs":[{"bench":"terasort","input_gb":4,"reduces":8}],"chaos":"crash tt3 @20; rejoin tt3 @60"}'
+
+submit() {
+  curl -sf -X POST "http://$addr/runs" -d "$scenario" \
+    | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'
+}
+
+run1=$(submit)
+[ -n "$run1" ] || { echo "serve_smoke: first submission failed" >&2; exit 1; }
+echo "serve_smoke: submitted $run1"
+
+# The SSE stream stays open until the run's terminal event seals it,
+# so a bounded curl reading to EOF is the "watch it live" assertion.
+curl -sf --max-time 60 "http://$addr/runs/$run1/events" > "$workdir/stream.sse"
+last_event=$(grep '^event: ' "$workdir/stream.sse" | tail -n 1)
+if [ "$last_event" != "event: done" ]; then
+  echo "serve_smoke: stream did not end in done (got: $last_event)" >&2
+  exit 1
+fi
+grep -q '^event: telemetry' "$workdir/stream.sse" || {
+  echo "serve_smoke: stream carried no telemetry events" >&2; exit 1; }
+grep -q '^event: progress' "$workdir/stream.sse" || {
+  echo "serve_smoke: stream carried no progress events" >&2; exit 1; }
+echo "serve_smoke: stream sealed with done ($(grep -c '^event: ' "$workdir/stream.sse") events)"
+
+# Resubmit the identical scenario: the ledger must record identical
+# Merkle roots for both runs (artifacts reproduce bit-for-bit).
+run2=$(submit)
+curl -sf --max-time 60 "http://$addr/runs/$run2/events" > /dev/null
+roots=$(curl -sf "http://$addr/ledger" | sed -n 's/.*"merkle_root": "\([^"]*\)".*/\1/p' | sort -u | wc -l)
+if [ "$roots" != 1 ]; then
+  echo "serve_smoke: identical scenarios produced $roots distinct Merkle roots" >&2
+  exit 1
+fi
+echo "serve_smoke: determinism holds ($run1 and $run2 share one Merkle root)"
+
+curl -sf "http://$addr/runs/$run1/stats" > "$workdir/stats.json"
+grep -q '"engine": "SMapReduce"' "$workdir/stats.json" || {
+  echo "serve_smoke: stats artifact malformed" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM drains and exits cleanly.
+kill -TERM "$pid"
+wait "$pid"
+trap - EXIT
+
+"$workdir/ledgercheck" "$workdir/artifacts/ledger.jsonl"
+echo "serve_smoke: OK"
