@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-fleet bench-tenant trace-smoke serve-smoke clean
+.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-clock bench-fleet bench-tenant trace-smoke serve-smoke clean
 
 all: check
 
@@ -55,6 +55,14 @@ bench-fluid:
 bench-alloc:
 	$(GO) test -short -run 'ZeroAlloc|AllocFree' ./internal/sim/ ./internal/netsim/ ./internal/mr/
 	$(GO) run ./cmd/smrbench -memjson
+
+# bench-clock regenerates BENCH_clock.json (timing wheel vs heap-only
+# event scheduler: periodic-beat and churn microbenchmarks plus figure
+# and fleet macro-runs, both backends measured live), after running the
+# wheel-vs-heap differential pins as a gate.
+bench-clock:
+	$(GO) test -run 'WheelVsHeapSchedDifferential|SchedDiffSeeded' ./internal/mr/ ./internal/sim/
+	$(GO) run ./cmd/smrbench -clockjson
 
 # bench-fleet regenerates BENCH_fleet.json (the fleet runner's
 # 1→GOMAXPROCS scaling curve over a 256-cluster fleet: runs/sec,

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"smapreduce/internal/core"
+	"smapreduce/internal/experiments"
+	"smapreduce/internal/fleet"
+	"smapreduce/internal/sim"
+)
+
+// newBenchClock builds a clock in the requested scheduler mode: the
+// default timing wheel (current) or the plain 4-ary heap (baseline,
+// still a live code path via SMR_HEAP_SCHED=1).
+func newBenchClock(heapOnly bool) *sim.Clock {
+	c := sim.NewClock()
+	c.SetHeapOnly(heapOnly)
+	return c
+}
+
+// periodicBeatNS measures the steady-state cost of one Step in a
+// heartbeat-shaped workload: 64 staggered periodic chains firing
+// forever. The wheel re-arms each beat in place; the heap pays a full
+// push+sift per beat.
+func periodicBeatNS(heapOnly bool, iters int) float64 {
+	c := newBenchClock(heapOnly)
+	const chains = 64
+	for i := 0; i < chains; i++ {
+		c.SchedulePeriodic(float64(i)/chains, 1.0, "beat", func() {})
+	}
+	for i := 0; i < 4*chains; i++ {
+		c.Step()
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c.Step()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// churnMixNS measures a scheduler-realistic mix at queue depth ~1000:
+// per cycle one schedule-or-reschedule, an occasional cancel, and one
+// fire, with delays spread across both wheel levels and the far-future
+// heap spill.
+func churnMixNS(heapOnly bool, iters int) float64 {
+	c := newBenchClock(heapOnly)
+	rng := sim.NewRand(7)
+	const depth = 1024
+	var refs [depth]sim.EventRef
+	delay := func() float64 {
+		switch v := rng.Float64(); {
+		case v < 0.70:
+			return rng.Float64() * 3
+		case v < 0.95:
+			return 4 + rng.Float64()*200
+		default:
+			return 1100 + rng.Float64()*1000
+		}
+	}
+	for i := range refs {
+		refs[i] = c.Schedule(c.Now()+delay(), "seed", func() {})
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		k := i % depth
+		if c.EventLive(refs[k]) {
+			c.Reschedule(refs[k], c.Now()+delay())
+		} else {
+			refs[k] = c.Schedule(c.Now()+delay(), "re", func() {})
+		}
+		j := (i * 31) % depth
+		if j != k && c.EventLive(refs[j]) {
+			c.Cancel(refs[j])
+		}
+		c.Step()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// figureNS times a figure run in the requested scheduler mode
+// (heap-only flows in via SMR_HEAP_SCHED, read at cluster
+// construction — experiments builds its own configs). One untimed
+// warm-up, then the best of five timed runs: the macro runs are tens
+// of milliseconds, where min-of-N is far more stable than a single
+// shot.
+func figureNS(cfg experiments.Config, heapOnly bool, fn func(experiments.Config) error) (float64, error) {
+	if heapOnly {
+		os.Setenv("SMR_HEAP_SCHED", "1")
+		defer os.Unsetenv("SMR_HEAP_SCHED")
+	}
+	if err := fn(cfg); err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if err := fn(cfg); err != nil {
+			return 0, err
+		}
+		if ns := float64(time.Since(start).Nanoseconds()); best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// fleetRunsPerSec times a 256-cluster fleet at full width in both
+// scheduler modes and returns (heap, wheel) runs per second. The
+// parallel fleet is the noisiest measurement here — worker scheduling
+// jitter and ambient load dwarf per-event cost — so the modes are
+// measured in alternating rounds (drift hits both sides equally) and
+// each side reports its peak.
+func fleetRunsPerSec(seed uint64) (heapBest, wheelBest float64, err error) {
+	run := func(heapOnly bool) (float64, error) {
+		base := fleet.DefaultClusterConfig()
+		base.HeapSched = heapOnly
+		cfg := fleet.Config{
+			Clusters: fleetClusters,
+			Workers:  runtime.GOMAXPROCS(0),
+			Seed:     seed,
+			Engine:   core.EngineSMapReduce,
+			Cluster:  base,
+		}
+		start := time.Now()
+		if _, err := fleet.Run(cfg); err != nil {
+			return 0, err
+		}
+		return fleetClusters / time.Since(start).Seconds(), nil
+	}
+	if _, err := run(true); err != nil { // warm-up
+		return 0, 0, err
+	}
+	for i := 0; i < 5; i++ {
+		h, err := run(true)
+		if err != nil {
+			return 0, 0, err
+		}
+		w, err := run(false)
+		if err != nil {
+			return 0, 0, err
+		}
+		if h > heapBest {
+			heapBest = h
+		}
+		if w > wheelBest {
+			wheelBest = w
+		}
+	}
+	return heapBest, wheelBest, nil
+}
+
+// writeClockJSON benchmarks the event scheduler — timing wheel versus
+// the heap-only baseline, both live code paths measured this run — at
+// micro scale (periodic beat, churn mix) and macro scale (figure
+// runs, fleet throughput), and writes BENCH_clock.json. Macro runs are
+// pinned to Scale 0.5 to match the other bench modes.
+func writeClockJSON(cfg experiments.Config, path string) error {
+	cfg.Scale = 0.5
+	const microIters = 2_000_000
+
+	heapBeat := periodicBeatNS(true, microIters)
+	wheelBeat := periodicBeatNS(false, microIters)
+	heapChurn := churnMixNS(true, microIters)
+	wheelChurn := churnMixNS(false, microIters)
+
+	fig3 := func(c experiments.Config) error { _, err := experiments.Figure3(c); return err }
+	fig4 := func(c experiments.Config) error { _, err := experiments.Figure4(c); return err }
+	heapFig3, err := figureNS(cfg, true, fig3)
+	if err != nil {
+		return fmt.Errorf("figure 3 (heap): %w", err)
+	}
+	wheelFig3, err := figureNS(cfg, false, fig3)
+	if err != nil {
+		return fmt.Errorf("figure 3 (wheel): %w", err)
+	}
+	heapFig4, err := figureNS(cfg, true, fig4)
+	if err != nil {
+		return fmt.Errorf("figure 4 (heap): %w", err)
+	}
+	wheelFig4, err := figureNS(cfg, false, fig4)
+	if err != nil {
+		return fmt.Errorf("figure 4 (wheel): %w", err)
+	}
+	heapFleet, wheelFleet, err := fleetRunsPerSec(cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+
+	note := "both sides measured this run: baseline = heap-only scheduler (SMR_HEAP_SCHED=1), current = timing wheel"
+	report := benchReport{
+		Command: "smrbench -clockjson",
+		Scale:   cfg.Scale,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+		Results: []benchEntry{
+			{Name: "clock periodic beat (64 chains)", Unit: "ns/op",
+				Baseline: heapBeat, Current: wheelBeat,
+				Speedup: heapBeat / wheelBeat, Note: note},
+			{Name: "clock churn mix (depth 1024)", Unit: "ns/op",
+				Baseline: heapChurn, Current: wheelChurn,
+				Speedup: heapChurn / wheelChurn, Note: note},
+			{Name: "Figure3ExecTime", Unit: "ns/op",
+				Baseline: heapFig3, Current: wheelFig3,
+				Speedup: heapFig3 / wheelFig3, Note: note},
+			{Name: "Figure4Progress", Unit: "ns/op",
+				Baseline: heapFig4, Current: wheelFig4,
+				Speedup: heapFig4 / wheelFig4, Note: note},
+			{Name: fmt.Sprintf("fleet %d clusters", fleetClusters), Unit: "runs/s",
+				Baseline: heapFleet, Current: wheelFleet,
+				Speedup: wheelFleet / heapFleet,
+				Note:    note + "; speedup = current/baseline (higher is better)"},
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%-36s %-7s baseline %14.1f  current %14.1f  speedup %5.2fx\n",
+			r.Name, r.Unit, r.Baseline, r.Current, r.Speedup)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -10,6 +10,10 @@
 //	smrbench -benchjson      # time the fluid resolver, write BENCH_fluid.json
 //	smrbench -memjson        # measure allocs/bytes/GC, write BENCH_alloc.json
 //	smrbench -fleetjson      # time the fleet runner's scaling curve, write BENCH_fleet.json
+//	smrbench -clockjson      # benchmark the event scheduler (wheel vs heap), write BENCH_clock.json
+//
+// Any mode accepts -cpuprofile / -memprofile to write pprof profiles
+// of the run.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,6 +62,9 @@ func main() {
 	benchJSON := flag.Bool("benchjson", false, "time the fluid-rate resolver (figure macro-runs and netsim churn) and write BENCH_fluid.json instead of running figures")
 	memJSON := flag.Bool("memjson", false, "measure heap behaviour (allocs/op, bytes/op, GC cycles) of the figure macro-runs and the netsim churn loop, write BENCH_alloc.json instead of running figures")
 	fleetJSON := flag.Bool("fleetjson", false, "time a 256-cluster fleet at worker counts 1,2,4,… and write the scaling curve to BENCH_fleet.json instead of running figures")
+	clockJSON := flag.Bool("clockjson", false, "benchmark the event scheduler — timing wheel vs heap-only baseline, micro and macro — and write BENCH_clock.json instead of running figures")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	tenantJSON := flag.Bool("tenantjson", false, "run the multi-tenant capacity shoot-out (every engine × offered loads on identical open arrival streams) and write BENCH_tenant.json instead of running figures")
 	telemPath := flag.String("telemetry", "", "capture a seeded SMapReduce histogram-ratings run, write its telemetry series to this file (CSV if it ends in .csv, else JSONL) and print the slot/rate timeline instead of running figures")
 	tracePath := flag.String("trace", "", "capture a seeded SMapReduce histogram-ratings run and write its Chrome trace-event JSON to this file (combinable with -telemetry) instead of running figures")
@@ -67,6 +75,33 @@ func main() {
 		figs = figList{1, 3, 4, 5, 6, 7, 8, 9}
 	}
 	sort.Ints(figs)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	cfg := experiments.Default()
 	cfg.Scale = *scale
@@ -92,6 +127,14 @@ func main() {
 
 	if *fleetJSON {
 		if err := writeFleetJSON(*seed, "BENCH_fleet.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clockJSON {
+		if err := writeClockJSON(cfg, "BENCH_clock.json"); err != nil {
 			fmt.Fprintf(os.Stderr, "smrbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"smapreduce/internal/sim"
+)
+
+// schedDiffSeed runs one chaos seed under the timing wheel and again
+// in heap-only scheduler mode (SMR_HEAP_SCHED=1, read at cluster
+// construction) and requires byte-identical artifacts. The fault
+// schedule drives every self-rescheduling chain through its edge
+// cases: heartbeat cancel + resume, probation timers, slowdown
+// windows, controller and sampler ticks across tracker churn.
+func schedDiffSeed(t *testing.T, seed uint64) {
+	t.Helper()
+
+	base := runSoak(t, seed, nil)
+	horizon := 0.0
+	for _, j := range base.jobs {
+		if j.FinishedAt > horizon {
+			horizon = j.FinishedAt
+		}
+	}
+	horizon *= 0.7
+	if horizon < 1 {
+		horizon = 1
+	}
+	sched := Generate(sim.NewRand(seed), soakWorkers, horizon)
+
+	wheel := runSoak(t, seed, &sched)
+	t.Setenv("SMR_HEAP_SCHED", "1")
+	heap := runSoak(t, seed, &sched)
+
+	if !bytes.Equal(wheel.logJSON, heap.logJSON) {
+		t.Fatalf("seed %d: event logs differ between wheel and heap-only scheduler\nschedule:\n%s", seed, sched)
+	}
+	if !bytes.Equal(wheel.traceJS, heap.traceJS) {
+		t.Fatalf("seed %d: traces differ between wheel and heap-only scheduler\nschedule:\n%s", seed, sched)
+	}
+	if wheel.audits != heap.audits {
+		t.Fatalf("seed %d: audit records differ between wheel and heap-only scheduler\nschedule:\n%s", seed, sched)
+	}
+}
+
+// TestSoakHeapSchedDifferential pins the scheduler backend on the
+// chaos workload: wheel and heap-only runs of the same seeded fault
+// schedule must emit byte-identical logs, traces and audits.
+func TestSoakHeapSchedDifferential(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := uint64(seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			schedDiffSeed(t, seed)
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestFiguresHeapSchedDifferential pins the scheduler backend on the
+// paper figures: running the figure workloads with SMR_HEAP_SCHED=1
+// (heap-only event scheduling, read at cluster construction) must
+// reproduce the timing-wheel tables byte for byte.
+func TestFiguresHeapSchedDifferential(t *testing.T) {
+	cfg := Config{Scale: 0.05, Workers: 8, Reduces: 8, Seed: 1}
+
+	w3, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv("SMR_HEAP_SCHED", "1")
+	h3, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := h3.Table().String(), w3.Table().String(); got != want {
+		t.Fatalf("Figure 3 diverges between wheel and heap-only scheduler:\nwheel:\n%s\nheap:\n%s", want, got)
+	}
+	if got, want := h4.Table().String(), w4.Table().String(); got != want {
+		t.Fatalf("Figure 4 diverges between wheel and heap-only scheduler:\nwheel:\n%s\nheap:\n%s", want, got)
+	}
+}

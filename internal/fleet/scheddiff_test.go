@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"runtime"
+	"testing"
+
+	"smapreduce/internal/core"
+)
+
+// TestFleetHeapSchedDifferential pins the scheduler backend across the
+// fleet: the same fleet seed run on the timing wheel and in heap-only
+// mode (Cluster.HeapSched, flowing into every per-cluster config) must
+// produce byte-identical per-cluster artefacts and merged totals, at
+// workers=1 and workers=GOMAXPROCS, for both the closed-workload and
+// the open-arrival multi-tenant shapes.
+func TestFleetHeapSchedDifferential(t *testing.T) {
+	const clusters = 8
+	shapes := []struct {
+		name string
+		mk   func(workers int, heapSched bool) Config
+	}{
+		{"closed", func(workers int, heapSched bool) Config {
+			cfg := testConfig(clusters, workers)
+			cfg.Cluster.HeapSched = heapSched
+			return cfg
+		}},
+		{"open-arrivals", func(workers int, heapSched bool) Config {
+			cfg := testConfig(clusters, workers)
+			cfg.Engine = core.EngineFairShare
+			cfg.Specs = nil
+			cfg.Arrivals = testArrivals
+			cfg.Cluster.HeapSched = heapSched
+			return cfg
+		}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+				wOut, wRes := artifacts(t, shape.mk(w, false))
+				hOut, hRes := artifacts(t, shape.mk(w, true))
+				for i := range wOut {
+					if wOut[i] != hOut[i] {
+						t.Fatalf("workers=%d: cluster %d artefacts diverge between wheel and heap-only scheduler (%d vs %d bytes)",
+							w, i, len(wOut[i]), len(hOut[i]))
+					}
+				}
+				if got, want := mergedBits(hRes), mergedBits(wRes); got != want {
+					t.Fatalf("workers=%d: merged result diverges between wheel and heap-only scheduler:\n%s\n%s", w, got, want)
+				}
+			}
+		})
+	}
+}

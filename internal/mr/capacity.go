@@ -284,20 +284,20 @@ func (c *Cluster) tenantSnapshots() []TenantSnapshot {
 }
 
 // scheduleCapacity arms the periodic capacity tick; like the sampler
-// and controller the callback is bound once so re-arming allocates
-// nothing.
+// and controller it is one self-re-arming periodic event (the policy
+// interval is read once here), so steady-state rebalancing allocates
+// nothing and shutdown's Cancel stops the chain.
 func (c *Cluster) scheduleCapacity() {
 	if c.capFn == nil {
 		c.capFn = c.capTick
 	}
-	c.capEvent = c.clock.After(c.capacity.Interval(), "capacity", c.capFn)
+	iv := c.capacity.Interval()
+	c.capEvent = c.clock.SchedulePeriodic(c.clock.Now()+iv, iv, "capacity", c.capFn)
 }
 
 func (c *Cluster) capTick() {
 	c.Mutate(func() { c.applyCapacity() })
-	if !c.stopped {
-		c.scheduleCapacity()
-	}
+	// The periodic event re-arms itself unless shutdown cancelled it.
 }
 
 // applyCapacity runs one rebalance: snapshot tenants, ask the policy,

@@ -296,6 +296,7 @@ func newCluster(cfg Config, st *SimState) (*Cluster, error) {
 	if cfg.NoPooling || os.Getenv("SMR_NO_POOL") == "1" {
 		c.noPool = true
 	}
+	c.clock.SetHeapOnly(cfg.HeapSched || os.Getenv("SMR_HEAP_SCHED") == "1")
 	for i := 0; i < cfg.Workers; i++ {
 		spec := cfg.NodeSpec
 		if cfg.NodeSpecs != nil {
@@ -566,7 +567,9 @@ func (c *Cluster) submitJob(j *Job) {
 }
 
 // start arms the periodic machinery: staggered heartbeats, progress
-// sampler, controller and capacity ticks.
+// sampler, controller and capacity ticks. Each chain is one
+// SchedulePeriodic event that re-arms in place — no alloc/free per
+// beat and a stable ref for the chain's whole life.
 func (c *Cluster) start() {
 	c.started = true
 	for i, tt := range c.trackers {
@@ -574,7 +577,7 @@ func (c *Cluster) start() {
 		tt.lastHB = 0
 		// Keep the ref: a fault injected before the first beat (crash,
 		// heartbeat loss) must be able to cancel the pending chain.
-		tt.hbEvent = c.clock.Schedule(offset, fmt.Sprintf("hb0 tt%d", i), tt.hbFn)
+		tt.hbEvent = c.clock.SchedulePeriodic(offset, c.cfg.HeartbeatPeriod, tt.hbLabel, tt.hbFn)
 	}
 	c.scheduleSampler()
 	if c.controller != nil {
@@ -592,14 +595,16 @@ func (c *Cluster) drive() {
 	c.clock.RunUntilIdle(200_000_000)
 }
 
-// scheduleSampler records progress curves for all running jobs. The
-// tick callback is bound once: re-arming every SampleInterval reuses
-// it, so steady-state sampling does not allocate.
+// scheduleSampler records progress curves for all running jobs. One
+// periodic event drives the whole chain: the clock re-arms it in place
+// every SampleInterval, so steady-state sampling does not allocate and
+// shutdown's Cancel stops the chain wherever it is.
 func (c *Cluster) scheduleSampler() {
 	if c.sampleFn == nil {
 		c.sampleFn = c.sampleTick
 	}
-	c.sampleEvent = c.clock.After(c.cfg.SampleInterval, "sample", c.sampleFn)
+	c.sampleEvent = c.clock.SchedulePeriodic(
+		c.clock.Now()+c.cfg.SampleInterval, c.cfg.SampleInterval, "sample", c.sampleFn)
 }
 
 func (c *Cluster) sampleTick() {
@@ -634,12 +639,12 @@ func (c *Cluster) sampleTick() {
 		c.telem.Tick(now)
 	}
 	c.progressMilestone(MilestoneSample, "")
-	if !c.stopped {
-		c.scheduleSampler()
-	}
+	// No explicit re-arm: the periodic event re-arms itself unless
+	// shutdown cancelled it (possibly from inside this very tick).
 }
 
-// scheduleController runs controller ticks on their interval. Each
+// scheduleController runs controller ticks on their interval (read
+// once here: a periodic event's cadence is fixed at arm time). Each
 // tick gets a span on the controller track; Tick consumes no virtual
 // time, so the spans render as zero-width markers whose args carry the
 // tick ordinal — the decision instants between them are the payload.
@@ -647,7 +652,8 @@ func (c *Cluster) scheduleController() {
 	if c.ctrlFn == nil {
 		c.ctrlFn = c.ctrlTick
 	}
-	c.ctrlEvent = c.clock.After(c.controller.Interval(), "controller", c.ctrlFn)
+	iv := c.controller.Interval()
+	c.ctrlEvent = c.clock.SchedulePeriodic(c.clock.Now()+iv, iv, "controller", c.ctrlFn)
 }
 
 func (c *Cluster) ctrlTick() {
@@ -657,9 +663,7 @@ func (c *Cluster) ctrlTick() {
 	}
 	c.Mutate(func() { c.controller.Tick(c) })
 	c.tracer.End(c.clock.Now(), ref)
-	if !c.stopped {
-		c.scheduleController()
-	}
+	// The periodic event re-arms itself unless shutdown cancelled it.
 }
 
 // shutdown cancels periodic machinery so the event queue drains.

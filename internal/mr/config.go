@@ -173,6 +173,16 @@ type Config struct {
 	// verifier runs the same seeded workload pooled and unpooled and
 	// asserts identical stats and audit output.
 	NoPooling bool
+
+	// HeapSched runs the event scheduler in heap-only mode, bypassing
+	// the timing wheel that normally stages near-future events in O(1)
+	// buckets. The wheel never decides firing order (the heap always
+	// arbitrates the (at, seq) total order), so event logs, stats,
+	// traces and audits must be byte-identical either way. Debug/CI
+	// knob (also enabled by SMR_HEAP_SCHED=1): the differential
+	// verifier runs the same seeded workload in both modes and asserts
+	// exactly that.
+	HeapSched bool
 }
 
 // DefaultConfig mirrors the paper's workbench: 16 workers, 3 map +

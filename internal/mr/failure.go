@@ -415,7 +415,7 @@ func (c *Cluster) ScheduleSlowdown(id int, pressure, at, duration float64) {
 		}
 		c.Mutate(func() { c.nodes[id].Add(act) })
 		c.tracef("node %d slowdown begins (pressure %+.2f)", id, pressure)
-		c.clock.After(duration, fmt.Sprintf("slowdown-end tt%d", id), func() {
+		c.clock.After(duration, lazyLabel(&c.trackers[id].slowdownEndLabel, "slowdown-end tt%d", id), func() {
 			c.Mutate(func() { c.nodes[id].Remove(act) })
 			c.tracef("node %d slowdown ends", id)
 		})

@@ -73,11 +73,12 @@ func TestPooledVsUnpooledDifferential(t *testing.T) {
 
 // TestHeartbeatZeroAlloc pins the steady-state heartbeat at zero
 // allocations: an idle tracker's periodic exchange (rate sampling,
-// empty assignment pass, event re-arm) must recycle everything.
+// empty assignment pass, in-place periodic re-arm) must recycle
+// everything.
 func TestHeartbeatZeroAlloc(t *testing.T) {
 	c := MustNewCluster(DefaultConfig())
 	tt := c.trackers[0]
-	c.clock.Schedule(0, tt.hbLabel, tt.hbFn)
+	c.clock.SchedulePeriodic(0, c.cfg.HeartbeatPeriod, tt.hbLabel, tt.hbFn)
 	// Warm up: grow the clock arena and EWMA state to steady shape.
 	for i := 0; i < 64; i++ {
 		c.clock.Step()

@@ -114,7 +114,7 @@ func (c *Cluster) recoverTracker(tt *TaskTracker) {
 	// Heartbeats resume on the tracker's own cadence, first beat now —
 	// unless the simulation already shut down.
 	if !c.stopped {
-		tt.hbEvent = c.clock.Schedule(now, tt.hbLabel, tt.hbFn)
+		tt.hbEvent = c.clock.SchedulePeriodic(now, c.cfg.HeartbeatPeriod, tt.hbLabel, tt.hbFn)
 	}
 }
 
@@ -166,7 +166,7 @@ func (c *Cluster) beginHeartbeatLoss(tt *TaskTracker, duration float64) {
 	// The job tracker's side: silence beyond the timeout blacklists the
 	// node. The check fires only if the loss window is still open then.
 	if duration > c.cfg.BlacklistTimeout {
-		tt.blacklistCheck = c.clock.After(c.cfg.BlacklistTimeout, fmt.Sprintf("blacklist tt%d", tt.id), func() {
+		tt.blacklistCheck = c.clock.After(c.cfg.BlacklistTimeout, lazyLabel(&tt.blacklistLabel, "blacklist tt%d", tt.id), func() {
 			c.Mutate(func() {
 				tt.blacklistCheck = 0
 				if tt.failed || !tt.hbLost || tt.blacklisted {
@@ -182,7 +182,7 @@ func (c *Cluster) beginHeartbeatLoss(tt *TaskTracker, duration float64) {
 			})
 		})
 	}
-	tt.hbResume = c.clock.After(duration, fmt.Sprintf("hb-resume tt%d", tt.id), func() {
+	tt.hbResume = c.clock.After(duration, lazyLabel(&tt.hbResumeLabel, "hb-resume tt%d", tt.id), func() {
 		c.Mutate(func() { c.endHeartbeatLoss(tt) })
 	})
 }
@@ -222,7 +222,7 @@ func (c *Cluster) endHeartbeatLoss(tt *TaskTracker) {
 			c.tracer.Instant(now, trackerPID(tt.id), "failure", "probation")
 		}
 		c.tracef("tracker %d on probation for %vs", tt.id, backoff)
-		tt.probationEnd = c.clock.After(backoff, fmt.Sprintf("probation-end tt%d", tt.id), func() {
+		tt.probationEnd = c.clock.After(backoff, lazyLabel(&tt.probationLabel, "probation-end tt%d", tt.id), func() {
 			c.Mutate(func() {
 				tt.probationEnd = 0
 				if tt.failed || !tt.probation {
@@ -240,7 +240,7 @@ func (c *Cluster) endHeartbeatLoss(tt *TaskTracker) {
 	}
 
 	if !c.stopped {
-		tt.hbEvent = c.clock.Schedule(now, tt.hbLabel, tt.hbFn)
+		tt.hbEvent = c.clock.SchedulePeriodic(now, c.cfg.HeartbeatPeriod, tt.hbLabel, tt.hbFn)
 	}
 }
 

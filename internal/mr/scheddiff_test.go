@@ -1,0 +1,71 @@
+package mr
+
+import (
+	"reflect"
+	"testing"
+
+	"smapreduce/internal/puma"
+)
+
+// schedDiffWorkload mirrors poolDiffWorkload but flips the event
+// scheduler backend instead of the object pools: the same seeded
+// straggler/failure workload runs once on the timing wheel and once in
+// heap-only mode.
+func schedDiffWorkload(t *testing.T, heapSched bool) ([]*Job, Stats, []Event) {
+	t.Helper()
+	cfg := stragglerConfig(true)
+	cfg.Seed = 7
+	cfg.OutputReplication = 2
+	cfg.HeapSched = heapSched
+	c := MustNewCluster(cfg)
+	log := c.EnableEventLog(0)
+	c.ScheduleFailure(5, 6.0)
+	specs := []JobSpec{
+		{Name: "ts", Profile: puma.MustGet("terasort"), InputMB: 2048, Reduces: 6},
+		{Name: "grep", Profile: puma.MustGet("grep"), InputMB: 1024, Reduces: 4, SubmitAt: 3},
+	}
+	jobs, err := c.Run(specs...)
+	if err != nil {
+		t.Fatalf("Run (heapSched=%v): %v", heapSched, err)
+	}
+	return jobs, c.Snapshot(), log.Events()
+}
+
+// TestWheelVsHeapSchedDifferential is the scheduler correctness pin:
+// the timing wheel stages events but the heap still arbitrates exact
+// (at, seq) order, so wheel and heap-only runs of the same seeded
+// workload must produce bit-identical milestones, stats and event
+// logs. Any wheel placement, cascade, or periodic re-arm bug that
+// perturbs firing order shows up as a divergence here.
+func TestWheelVsHeapSchedDifferential(t *testing.T) {
+	wJobs, wStats, wEvents := schedDiffWorkload(t, false)
+	hJobs, hStats, hEvents := schedDiffWorkload(t, true)
+
+	if len(wJobs) != len(hJobs) {
+		t.Fatalf("job counts differ: wheel %d, heap %d", len(wJobs), len(hJobs))
+	}
+	for i := range wJobs {
+		w, h := wJobs[i], hJobs[i]
+		if w.Submitted != h.Submitted || w.Started != h.Started ||
+			w.BarrierAt != h.BarrierAt || w.FinishedAt != h.FinishedAt ||
+			w.ShuffledMB != h.ShuffledMB ||
+			w.SpeculativeLaunched != h.SpeculativeLaunched ||
+			w.SpeculativeWins != h.SpeculativeWins {
+			t.Fatalf("job %s milestones diverge:\nwheel %+v %+v %+v %+v %v spec %d/%d\nheap  %+v %+v %+v %+v %v spec %d/%d",
+				w.Spec.Name,
+				w.Submitted, w.Started, w.BarrierAt, w.FinishedAt, w.ShuffledMB, w.SpeculativeLaunched, w.SpeculativeWins,
+				h.Submitted, h.Started, h.BarrierAt, h.FinishedAt, h.ShuffledMB, h.SpeculativeLaunched, h.SpeculativeWins)
+		}
+	}
+	if !reflect.DeepEqual(wStats, hStats) {
+		t.Fatalf("final Stats diverge:\nwheel %+v\nheap  %+v", wStats, hStats)
+	}
+	if len(wEvents) != len(hEvents) {
+		t.Fatalf("event counts differ: wheel %d, heap %d", len(wEvents), len(hEvents))
+	}
+	for i := range wEvents {
+		if wEvents[i] != hEvents[i] {
+			t.Fatalf("event %d diverges:\nwheel %+v\nheap  %+v", i, wEvents[i], hEvents[i])
+		}
+	}
+}

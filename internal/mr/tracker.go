@@ -67,6 +67,13 @@ type TaskTracker struct {
 	hbFn     func()
 	hbTickFn func()
 
+	// Fault-event labels, formatted lazily on the first incident and
+	// cached, so mid-run fault scheduling never pays fmt.Sprintf.
+	blacklistLabel   string
+	hbResumeLabel    string
+	probationLabel   string
+	slowdownEndLabel string
+
 	// scratch backs the inFlight* summations between heartbeats.
 	scratch []float64
 
@@ -90,6 +97,15 @@ func newTaskTracker(c *Cluster, id int, node *resource.Node) *TaskTracker {
 	tt.hbFn = tt.heartbeat
 	tt.hbTickFn = tt.hbTick
 	return tt
+}
+
+// lazyLabel formats a per-id event label on first use and caches it in
+// *slot, so repeat incidents schedule with zero formatting.
+func lazyLabel(slot *string, format string, id int) string {
+	if *slot == "" {
+		*slot = fmt.Sprintf(format, id)
+	}
+	return *slot
 }
 
 // ID returns the tracker's node ID.
@@ -272,11 +288,12 @@ func (tt *TaskTracker) applyDisturbance() {
 
 // heartbeat is the tracker's periodic exchange with the job tracker:
 // sample statistics, pick up slot commands, and receive new tasks.
-// Both the Mutate body and the re-arm callback are the cached
-// closures, so a heartbeat on an idle tracker allocates nothing.
+// The clock's periodic fast path re-arms the chain in place after this
+// returns (same hbEvent ref for the chain's whole life), and the
+// Mutate body is a cached closure, so a heartbeat on an idle tracker
+// allocates nothing.
 func (tt *TaskTracker) heartbeat() {
 	tt.c.Mutate(tt.hbTickFn)
-	tt.hbEvent = tt.c.clock.After(tt.c.cfg.HeartbeatPeriod, tt.hbLabel, tt.hbFn)
 }
 
 // hbTick is the heartbeat's mutation body.

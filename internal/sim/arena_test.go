@@ -116,8 +116,15 @@ func TestSlabGrowthMidRun(t *testing.T) {
 // model (sorted slice of records) through the same seeded random
 // schedule/cancel/reschedule/step sequence and demand identical firing
 // order. This exercises free-list reuse, the 4-ary heap property, and
-// in-place sift fix-up under adversarial interleavings.
+// in-place sift fix-up under adversarial interleavings — in both
+// scheduler modes, so the timing wheel and the heap-only baseline are
+// each pinned against the model independently.
 func TestChurnDifferential(t *testing.T) {
+	t.Run("wheel", func(t *testing.T) { churnDifferential(t, false) })
+	t.Run("heap", func(t *testing.T) { churnDifferential(t, true) })
+}
+
+func churnDifferential(t *testing.T, heapOnly bool) {
 	type refEvent struct {
 		at  Time
 		seq uint64
@@ -125,6 +132,7 @@ func TestChurnDifferential(t *testing.T) {
 	}
 	rng := NewRand(1234)
 	c := NewClock()
+	c.SetHeapOnly(heapOnly)
 
 	var model []refEvent // pending, unordered
 	modelSeq := uint64(0)
@@ -264,8 +272,8 @@ func TestDrainOrderAfterChurn(t *testing.T) {
 	}
 	var times []Time
 	for c.Pending() > 0 {
-		times = append(times, c.slots[c.heap[0]].at)
 		c.Step()
+		times = append(times, c.Now()) // Step lands exactly on the event time
 	}
 	if !sort.Float64sAreSorted(times) {
 		t.Fatal("drain order not sorted after churn")

@@ -12,6 +12,15 @@
 // the priority queue is an index heap over slot numbers. In steady
 // state (schedule/fire/cancel churn at stable queue depth) the event
 // loop performs zero allocations.
+//
+// A hierarchical timing wheel (wheel.go) sits in front of the heap:
+// near-future events land in O(1) buckets and are staged into the heap
+// only as the dispatch frontier reaches them, so the heap stays small
+// while the firing order — always arbitrated by the heap — is
+// byte-identical to a heap-only scheduler (selectable via SetHeapOnly
+// for differential verification). Strictly periodic work should use
+// SchedulePeriodic, which re-arms in place with no release/acquire
+// cycle per beat.
 package sim
 
 import (
@@ -45,14 +54,17 @@ const (
 // terminal ref can still be re-armed by Reschedule; they are
 // overwritten when the slot is recycled by a later Schedule.
 type eventSlot struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	label    string
-	heapIdx  int32 // position in Clock.heap; -1 when not queued
-	nextFree int32 // free-list link; meaningful only while on the list
-	gen      int32 // bumped on every allocation; high half of the ref
-	state    uint8
+	at      Time
+	seq     uint64
+	fn      func()
+	label   string
+	period  Time  // re-arm interval; 0 for one-shot events
+	heapIdx int32 // position in Clock.heap; -1 when not queued there
+	link    int32 // free-list link, or next entry in a wheel bucket
+	prev    int32 // previous entry in a wheel bucket
+	bucket  int32 // wheel bucket index; -1 when not in the wheel
+	gen     int32 // bumped on every allocation; high half of the ref
+	state   uint8
 }
 
 // Clock owns virtual time and the pending event set.
@@ -63,18 +75,49 @@ type Clock struct {
 	fired uint64
 
 	// Event arena: a growable slab of slots, a LIFO free list threaded
-	// through nextFree, and a 4-ary index heap of pending slot numbers
+	// through link, and a 4-ary index heap of pending slot numbers
 	// ordered by (at, seq). 4-ary keeps the hot sift paths shallow and
 	// the child scan within one cache line of int32 indices.
 	slots    []eventSlot
 	freeHead int32
 	heap     []int32
+
+	// Timing wheel (wheel.go): two levels of bucket list heads with
+	// occupancy bitmaps, the dispatch frontier in wheel ticks, and the
+	// wheel-resident event count. heapOnly bypasses the wheel entirely
+	// (the SMR_HEAP_SCHED differential scheduler).
+	heapOnly   bool
+	disp       int64
+	wheelCount int
+	buckets    [2 * wheelSlots]int32
+	occ        [2 * occWords]uint64
 }
 
 // NewClock returns a clock positioned at time zero with no pending events.
 func NewClock() *Clock {
-	return &Clock{freeHead: -1}
+	c := &Clock{freeHead: -1}
+	for i := range c.buckets {
+		c.buckets[i] = -1
+	}
+	return c
 }
+
+// SetHeapOnly selects the heap-only differential scheduler: every
+// event queues straight into the 4-ary heap and the timing wheel is
+// bypassed. The firing order is identical by construction — the wheel
+// only stages events into the heap, which always arbitrates the final
+// (at, seq) order — so this mode exists to prove exactly that (it is
+// what Config.HeapSched / SMR_HEAP_SCHED=1 select). The mode must be
+// chosen while no events are pending and survives Reset.
+func (c *Clock) SetHeapOnly(on bool) {
+	if c.Pending() != 0 {
+		panic("sim: SetHeapOnly with events pending")
+	}
+	c.heapOnly = on
+}
+
+// HeapOnly reports whether the heap-only differential scheduler is on.
+func (c *Clock) HeapOnly() bool { return c.heapOnly }
 
 // Reset returns the clock to time zero with no pending events,
 // retaining the arena slab and heap capacity so a pooled worker can
@@ -91,6 +134,12 @@ func (c *Clock) Reset() {
 	c.slots = c.slots[:0]
 	c.heap = c.heap[:0]
 	c.freeHead = -1
+	c.disp = 0
+	c.wheelCount = 0
+	for i := range c.buckets {
+		c.buckets[i] = -1
+	}
+	clear(c.occ[:])
 }
 
 // Now returns the current virtual time.
@@ -100,9 +149,10 @@ func (c *Clock) Now() Time { return c.now }
 func (c *Clock) Fired() uint64 { return c.fired }
 
 // Pending reports how many events are scheduled and not yet cancelled.
-// O(1): cancelled events leave the heap eagerly, so the heap length is
-// the pending count.
-func (c *Clock) Pending() int { return len(c.heap) }
+// O(1): cancelled events leave the heap and wheel eagerly, so the sum
+// of the two populations is the pending count. A periodic event counts
+// while queued for its next beat, but not during its own callback.
+func (c *Clock) Pending() int { return len(c.heap) + c.wheelCount }
 
 // makeRef packs a slot index and its generation into a handle. The +1
 // keeps the zero EventRef invalid.
@@ -153,7 +203,7 @@ func (c *Clock) alloc() int32 {
 	var idx int32
 	if c.freeHead >= 0 {
 		idx = c.freeHead
-		c.freeHead = c.slots[idx].nextFree
+		c.freeHead = c.slots[idx].link
 	} else {
 		idx = int32(len(c.slots))
 		c.slots = append(c.slots, eventSlot{})
@@ -166,7 +216,7 @@ func (c *Clock) alloc() int32 {
 // fn and label are retained so outstanding refs keep resolving until
 // the slot is recycled.
 func (c *Clock) release(idx int32) {
-	c.slots[idx].nextFree = c.freeHead
+	c.slots[idx].link = c.freeHead
 	c.freeHead = idx
 }
 
@@ -189,11 +239,37 @@ func (c *Clock) Schedule(at Time, label string, fn func()) EventRef {
 	s.seq = c.seq
 	s.fn = fn
 	s.label = label
+	s.period = 0
 	s.state = evPending
-	s.heapIdx = int32(len(c.heap))
-	c.heap = append(c.heap, idx)
-	c.siftUp(len(c.heap) - 1)
+	c.enqueue(idx)
 	return makeRef(s.gen, idx)
+}
+
+// SchedulePeriodic registers fn to run at absolute time at and then
+// again period seconds after each firing. The chain re-arms in place —
+// no slot release/acquire per beat — and the returned ref stays valid
+// (and EventLive) for the chain's whole life. Each beat's next
+// occurrence is Now()+period with a sequence number taken as fn
+// returns, bit-identical in timing and ordering to a callback that
+// ends with After(period, ...). Cancel stops the chain, including from
+// inside fn; Reschedule moves only the next beat and keeps the chain
+// going. A non-positive or non-finite period panics.
+func (c *Clock) SchedulePeriodic(at, period Time, label string, fn func()) EventRef {
+	if period <= 0 || math.IsNaN(period) || math.IsInf(period, 0) {
+		panic(fmt.Sprintf("sim: periodic %q with invalid period %v", label, period))
+	}
+	ref := c.Schedule(at, label, fn)
+	c.slots[int32(uint32(ref))-1].period = period
+	return ref
+}
+
+// EventPeriod returns ref's re-arm period, or 0 for one-shot events
+// and for refs that are terminal, recycled, or zero.
+func (c *Clock) EventPeriod(ref EventRef) Time {
+	if s := c.slot(ref); s != nil && s.state == evPending {
+		return s.period
+	}
+	return 0
 }
 
 // After registers fn to run d seconds from now. Negative d panics.
@@ -207,16 +283,25 @@ func (c *Clock) After(d Time, label string, fn func()) EventRef {
 // Cancel removes an event from the queue without firing it. Cancelling
 // a zero ref, an already-cancelled event, an event that already fired,
 // or a ref whose slot has been recycled is a no-op, which lets callers
-// cancel unconditionally when tearing state down.
+// cancel unconditionally when tearing state down. Cancelling a
+// periodic event stops its chain, even from inside its own callback.
 func (c *Clock) Cancel(ref EventRef) {
 	s := c.slot(ref)
 	if s == nil || s.state != evPending {
 		return
 	}
-	c.heapRemove(int(s.heapIdx))
+	idx := int32(uint32(ref)) - 1
+	switch {
+	case s.bucket >= 0:
+		c.wheelUnlink(idx)
+	case s.heapIdx >= 0:
+		c.heapRemove(int(s.heapIdx))
+	}
+	// Queued in neither place: a periodic event cancelled from inside
+	// its own callback — the terminal state alone stops the chain.
 	s.state = evCancelled
 	s.heapIdx = -1
-	c.release(int32(uint32(ref)) - 1)
+	c.release(idx)
 }
 
 // Reschedule moves a pending event to a new absolute time by sifting
@@ -225,9 +310,10 @@ func (c *Clock) Cancel(ref EventRef) {
 // as if newly scheduled (exactly the old cancel+schedule semantics),
 // and the same ref stays valid. If the event already fired or was
 // cancelled (slot not yet recycled), its retained callback is
-// scheduled as a fresh event and the new ref is returned. Rescheduling
-// a zero ref or one whose slot was recycled panics: the callback is
-// gone, so the caller's bookkeeping is broken.
+// scheduled as a fresh one-shot event and the new ref is returned.
+// Rescheduling a zero ref or one whose slot was recycled panics: the
+// callback is gone, so the caller's bookkeeping is broken. A pending
+// periodic event keeps its period — only the next beat moves.
 func (c *Clock) Reschedule(ref EventRef, at Time) EventRef {
 	s := c.slot(ref)
 	if s == nil {
@@ -246,13 +332,31 @@ func (c *Clock) Reschedule(ref EventRef, at Time) EventRef {
 	c.seq++
 	s.at = at
 	s.seq = c.seq
-	c.heapFix(int(s.heapIdx))
+	idx := int32(uint32(ref)) - 1
+	switch {
+	case s.bucket >= 0:
+		c.wheelUnlink(idx)
+		c.enqueue(idx)
+	case s.heapIdx >= 0:
+		if c.placement(at) < 0 {
+			c.heapFix(int(s.heapIdx)) // stays in the heap: sift in place
+		} else {
+			c.heapRemove(int(s.heapIdx))
+			s.heapIdx = -1
+			c.enqueue(idx)
+		}
+	default:
+		// An in-flight periodic event rescheduling its own next beat:
+		// queue it here; Step sees it queued and skips the auto re-arm.
+		c.enqueue(idx)
+	}
 	return ref
 }
 
 // Step fires the single earliest pending event. It returns false when
 // the queue is empty.
 func (c *Clock) Step() bool {
+	c.syncHeap()
 	if len(c.heap) == 0 {
 		return false
 	}
@@ -264,8 +368,29 @@ func (c *Clock) Step() bool {
 	c.now = s.at
 	fn := s.fn // copy out before release: fn may recycle the slot
 	c.heapPop()
-	s.state = evFired
 	s.heapIdx = -1
+	if s.period > 0 {
+		// Periodic fast path: the slot stays pending ("in flight")
+		// while fn runs, then re-arms in place — no release/alloc
+		// cycle, and the ref stays valid across beats. The re-arm
+		// sequence number is taken after fn returns, exactly where a
+		// self-rescheduling callback would have taken it, so the
+		// firing order matches the one-shot chain bit for bit. The
+		// guard skips the re-arm when fn cancelled the chain (possibly
+		// recycling the slot) or queued the next beat via Reschedule.
+		gen := s.gen
+		c.fired++
+		fn()
+		s = &c.slots[idx] // re-take: fn may have grown the slab
+		if s.gen == gen && s.state == evPending && s.heapIdx < 0 && s.bucket < 0 {
+			c.seq++
+			s.at = c.now + s.period
+			s.seq = c.seq
+			c.enqueue(idx)
+		}
+		return true
+	}
+	s.state = evFired
 	c.release(idx)
 	c.fired++
 	fn()
@@ -277,7 +402,11 @@ func (c *Clock) Step() bool {
 // math.Inf(1) runs to quiescence.
 func (c *Clock) Run(limit Time) uint64 {
 	start := c.fired
-	for len(c.heap) > 0 && c.slots[c.heap[0]].at <= limit {
+	for {
+		c.syncHeap() // the heap root is the global minimum afterwards
+		if len(c.heap) == 0 || c.slots[c.heap[0]].at > limit {
+			break
+		}
 		c.Step()
 	}
 	return c.fired - start
@@ -301,6 +430,7 @@ func (c *Clock) RunUntilIdle(maxEvents uint64) uint64 {
 // pending before now+d, because skipping them would corrupt causality.
 func (c *Clock) Advance(d Time) {
 	target := c.now + d
+	c.syncHeap() // the heap root is the global minimum afterwards
 	if len(c.heap) > 0 {
 		if s := &c.slots[c.heap[0]]; s.at <= target {
 			panic(fmt.Sprintf("sim: Advance(%v) would skip event %q at %v", d, s.label, s.at))

@@ -34,6 +34,76 @@ func BenchmarkCancel(b *testing.B) {
 	}
 }
 
+// benchModes runs fn once on the timing wheel and once heap-only, so
+// every scheduler benchmark reports both backends side by side.
+func benchModes(b *testing.B, fn func(b *testing.B, c *Clock)) {
+	b.Run("wheel", func(b *testing.B) { fn(b, NewClock()) })
+	b.Run("heap", func(b *testing.B) {
+		c := NewClock()
+		c.SetHeapOnly(true)
+		fn(b, c)
+	})
+}
+
+// BenchmarkPeriodicBeat measures the periodic fast path: 64 staggered
+// periodic events (the heartbeat shape) firing steadily. The wheel
+// re-arms in place; heap-only pays a full push per beat.
+func BenchmarkPeriodicBeat(b *testing.B) {
+	benchModes(b, func(b *testing.B, c *Clock) {
+		const chains = 64
+		for i := 0; i < chains; i++ {
+			c.SchedulePeriodic(float64(i)/chains, 1.0, "beat", func() {})
+		}
+		for i := 0; i < 4*chains; i++ {
+			c.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Step()
+		}
+	})
+}
+
+// BenchmarkChurnMix measures a scheduler-realistic mix at depth ~1000:
+// per iteration one schedule, one reschedule, one cancel and one fire,
+// with delays spread across level 0, level 1 and the heap spill.
+func BenchmarkChurnMix(b *testing.B) {
+	benchModes(b, func(b *testing.B, c *Clock) {
+		rng := NewRand(7)
+		const depth = 1024
+		var refs [depth]EventRef
+		delay := func() float64 {
+			switch v := rng.Float64(); {
+			case v < 0.70:
+				return rng.Float64() * 3 // level 0
+			case v < 0.95:
+				return 4 + rng.Float64()*200 // level 1
+			default:
+				return 1100 + rng.Float64()*1000 // heap spill
+			}
+		}
+		for i := range refs {
+			refs[i] = c.Schedule(c.Now()+delay(), "seed", func() {})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i % depth
+			if c.EventLive(refs[k]) {
+				c.Reschedule(refs[k], c.Now()+delay())
+			} else {
+				refs[k] = c.Schedule(c.Now()+delay(), "re", func() {})
+			}
+			j := (i * 31) % depth
+			if j != k && c.EventLive(refs[j]) {
+				c.Cancel(refs[j])
+			}
+			c.Step()
+		}
+	})
+}
+
 // BenchmarkRandUint64 measures the PRNG.
 func BenchmarkRandUint64(b *testing.B) {
 	r := NewRand(1)

@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// --- targeted wheel mechanics ---
+
+// An event past the current 4-second level-0 block lands in level 1
+// and must cascade down to its exact slot when the frontier reaches
+// its block; ordering against near events and same-time ties holds.
+func TestWheelCascade(t *testing.T) {
+	c := NewClock()
+	var got []string
+	c.Schedule(10.5, "far-b", func() { got = append(got, "far-b") }) // level 1
+	c.Schedule(10.5, "far-c", func() { got = append(got, "far-c") }) // same slot, later seq
+	c.Schedule(0.5, "near", func() { got = append(got, "near") })    // level 0
+	c.Schedule(10.25, "far-a", func() { got = append(got, "far-a") })
+	c.RunUntilIdle(100)
+	want := []string{"near", "far-a", "far-b", "far-c"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 10.5 {
+		t.Fatalf("Now() = %v after drain, want 10.5", c.Now())
+	}
+}
+
+// Events beyond the 1024-second super-block spill to the heap and
+// still fire in exact order once the wheel drains up to them.
+func TestWheelFarFutureHeapSpill(t *testing.T) {
+	c := NewClock()
+	var got []Time
+	for _, at := range []Time{2000, 0.5, 1023, 5000, 1500} {
+		at := at
+		c.Schedule(at, "spill", func() { got = append(got, at) })
+	}
+	c.RunUntilIdle(10_000)
+	if !sort.Float64sAreSorted(got) || len(got) != 5 {
+		t.Fatalf("spill firing order %v", got)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d", c.Pending())
+	}
+}
+
+// An event scheduled at a tick the dispatch frontier has already
+// passed (at == Now after dispatch advanced) bypasses the wheel, goes
+// straight to the heap, and fires without moving time backwards.
+func TestWheelDispatchedTickGoesToHeap(t *testing.T) {
+	c := NewClock()
+	var got []string
+	c.Schedule(5, "later", func() { got = append(got, "later") })
+	c.RunUntilIdle(100)
+	c.Schedule(5, "same", func() { got = append(got, "same") }) // tick already dispatched
+	c.RunUntilIdle(100)
+	if len(got) != 2 || got[1] != "same" {
+		t.Fatalf("got %v", got)
+	}
+	if c.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", c.Now())
+	}
+}
+
+// --- periodic fast path ---
+
+// A periodic event re-arms itself with its stable ref until cancelled;
+// EventPeriod reports the interval while pending.
+func TestSchedulePeriodicBasics(t *testing.T) {
+	c := NewClock()
+	var times []Time
+	e := c.SchedulePeriodic(1, 2, "beat", func() { times = append(times, c.Now()) })
+	if p := c.EventPeriod(e); p != 2 {
+		t.Fatalf("EventPeriod = %v, want 2", p)
+	}
+	c.Run(8)
+	want := []Time{1, 3, 5, 7}
+	if len(times) != len(want) {
+		t.Fatalf("fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", times, want)
+		}
+	}
+	if !c.EventLive(e) {
+		t.Fatal("periodic event not live between beats")
+	}
+	c.Cancel(e)
+	c.Run(20)
+	if len(times) != len(want) {
+		t.Fatal("periodic event fired after Cancel")
+	}
+	if c.EventPeriod(e) != 0 {
+		t.Fatal("EventPeriod nonzero after Cancel")
+	}
+}
+
+// Cancel from inside the event's own callback stops the chain: the
+// in-flight slot is terminal and Step must not re-arm it.
+func TestPeriodicCancelMidChain(t *testing.T) {
+	c := NewClock()
+	fired := 0
+	var e EventRef
+	e = c.SchedulePeriodic(1, 1, "self-stop", func() {
+		fired++
+		if fired == 3 {
+			c.Cancel(e)
+		}
+	})
+	c.RunUntilIdle(100)
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	if c.Pending() != 0 || c.EventLive(e) {
+		t.Fatal("cancelled periodic chain still pending")
+	}
+}
+
+// Reschedule from inside the callback overrides the automatic re-arm:
+// the event moves to the explicit time (keeping its period thereafter).
+func TestPeriodicRescheduleInFlight(t *testing.T) {
+	c := NewClock()
+	var times []Time
+	var e EventRef
+	e = c.SchedulePeriodic(1, 1, "jump", func() {
+		times = append(times, c.Now())
+		if len(times) == 2 {
+			c.Reschedule(e, c.Now()+5)
+		}
+	})
+	c.Run(10)
+	want := []Time{1, 2, 7, 8, 9, 10}
+	if len(times) != len(want) {
+		t.Fatalf("fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", times, want)
+		}
+	}
+	c.Cancel(e)
+}
+
+// A cancelled-and-recycled slot must not be re-armed by a stale
+// in-flight periodic fire: the generation guard catches it.
+func TestPeriodicCancelRecycleInFlight(t *testing.T) {
+	c := NewClock()
+	var e EventRef
+	otherFired := false
+	e = c.SchedulePeriodic(1, 1, "victim", func() {
+		c.Cancel(e) // slot goes to the free list mid-flight
+		// Recycle the slot immediately with a fresh one-shot.
+		c.Schedule(c.Now()+0.5, "fresh", func() { otherFired = true })
+	})
+	c.RunUntilIdle(100)
+	if !otherFired {
+		t.Fatal("recycled slot's occupant never fired")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d: stale periodic re-arm resurrected a recycled slot", c.Pending())
+	}
+}
+
+func TestSchedulePeriodicValidation(t *testing.T) {
+	c := NewClock()
+	for _, period := range []Time{0, -1, math.NaN(), math.Inf(1)} {
+		period := period
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SchedulePeriodic(period=%v) did not panic", period)
+				}
+			}()
+			c.SchedulePeriodic(1, period, "bad", func() {})
+		}()
+	}
+}
+
+// The steady periodic beat allocates nothing: the slot re-arms in
+// place without free-list churn.
+func TestPeriodicZeroAlloc(t *testing.T) {
+	c := NewClock()
+	c.SchedulePeriodic(0, 1, "beat", func() {})
+	for i := 0; i < 64; i++ {
+		c.Step()
+	}
+	if allocs := testing.AllocsPerRun(512, func() { c.Step() }); allocs != 0 {
+		t.Fatalf("periodic Step allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+// --- mode switching and reset ---
+
+func TestSetHeapOnlyWithPendingPanics(t *testing.T) {
+	c := NewClock()
+	c.Schedule(1, "x", func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetHeapOnly with pending events did not panic")
+		}
+	}()
+	c.SetHeapOnly(true)
+}
+
+// Reset clears wheel occupancy and survives mode: a reset clock
+// schedules into clean buckets and heap-only mode persists.
+func TestResetClearsWheelState(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 100; i++ {
+		c.Schedule(Time(i)*0.7, "pre", func() {})
+	}
+	c.Run(20) // leave some events pending in wheel and heap
+	c.Reset()
+	if c.Pending() != 0 || c.Now() != 0 {
+		t.Fatalf("Pending=%d Now=%v after Reset", c.Pending(), c.Now())
+	}
+	fired := 0
+	for i := 0; i < 100; i++ {
+		c.Schedule(Time(i)*0.7, "post", func() { fired++ })
+	}
+	c.RunUntilIdle(1000)
+	if fired != 100 {
+		t.Fatalf("fired %d, want 100 (stale wheel state after Reset)", fired)
+	}
+
+	h := NewClock()
+	h.SetHeapOnly(true)
+	h.Reset()
+	if !h.HeapOnly() {
+		t.Fatal("Reset cleared heap-only mode")
+	}
+}
+
+// --- wheel vs heap differential driver (shared by test and fuzz) ---
+
+// runSchedDiff decodes a byte stream into a scripted interleaving of
+// Schedule / SchedulePeriodic / Cancel / Reschedule / Step and drives a
+// wheel clock and a heap-only clock through it in lockstep. The two
+// must agree on Pending, Now and the exact firing sequence at every
+// step — the wheel only stages events, the heap arbitrates order.
+func runSchedDiff(t *testing.T, data []byte) {
+	t.Helper()
+	w := NewClock()
+	h := NewClock()
+	h.SetHeapOnly(true)
+
+	type pair struct{ w, h EventRef }
+	refs := map[int]pair{}
+	var liveIDs []int // sorted, for deterministic victim selection
+	var firedW, firedH []int
+	nextID := 0
+
+	// delta maps a byte onto a delay exercising level 0 (sub-block),
+	// level 1 (sub-super-block), and the far-future heap spill.
+	delta := func(b byte) Time {
+		d := Time(b%64) * 0.23
+		switch {
+		case b >= 224:
+			d += 1100 // beyond the 1024 s super-block: heap spill
+		case b >= 160:
+			d += 50 // level 1
+		}
+		return d
+	}
+	dropID := func(id int) {
+		i := sort.SearchInts(liveIDs, id)
+		if i < len(liveIDs) && liveIDs[i] == id {
+			liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+		}
+		delete(refs, id)
+	}
+
+	for i := 0; i+2 < len(data); i += 3 {
+		op, b1, b2 := data[i], data[i+1], data[i+2]
+		switch op % 8 {
+		case 0, 1: // one-shot
+			id := nextID
+			nextID++
+			at := w.Now() + delta(b1)
+			refs[id] = pair{
+				w: w.Schedule(at, "d", func() { firedW = append(firedW, id); dropID(id) }),
+				h: h.Schedule(at, "d", func() { firedH = append(firedH, id) }),
+			}
+			liveIDs = append(liveIDs, id)
+		case 2: // periodic
+			id := nextID
+			nextID++
+			at := w.Now() + delta(b1)
+			period := Time(b2%32+1) * 0.11
+			refs[id] = pair{
+				w: w.SchedulePeriodic(at, period, "p", func() { firedW = append(firedW, id) }),
+				h: h.SchedulePeriodic(at, period, "p", func() { firedH = append(firedH, id) }),
+			}
+			liveIDs = append(liveIDs, id)
+		case 3: // cancel
+			if len(liveIDs) == 0 {
+				continue
+			}
+			id := liveIDs[int(b1)%len(liveIDs)]
+			p := refs[id]
+			w.Cancel(p.w)
+			h.Cancel(p.h)
+			dropID(id)
+		case 4: // reschedule
+			if len(liveIDs) == 0 {
+				continue
+			}
+			id := liveIDs[int(b1)%len(liveIDs)]
+			p := refs[id]
+			at := w.Now() + delta(b2)
+			w.Reschedule(p.w, at)
+			h.Reschedule(p.h, at)
+		default: // step
+			fw := w.Step()
+			fh := h.Step()
+			if fw != fh {
+				t.Fatalf("op %d: wheel Step fired=%v, heap fired=%v", i, fw, fh)
+			}
+			if len(firedW) != len(firedH) ||
+				(len(firedW) > 0 && firedW[len(firedW)-1] != firedH[len(firedH)-1]) {
+				t.Fatalf("op %d: firing sequences diverge: wheel %v heap %v", i, firedW, firedH)
+			}
+		}
+		if w.Pending() != h.Pending() {
+			t.Fatalf("op %d: Pending diverges: wheel %d heap %d", i, w.Pending(), h.Pending())
+		}
+		if w.Now() != h.Now() {
+			t.Fatalf("op %d: Now diverges: wheel %v heap %v", i, w.Now(), h.Now())
+		}
+	}
+	// Drain: cancel periodics (they never end), then fire out the rest.
+	for _, id := range liveIDs {
+		p := refs[id]
+		if w.EventPeriod(p.w) > 0 {
+			w.Cancel(p.w)
+			h.Cancel(p.h)
+		}
+	}
+	for steps := 0; w.Pending() > 0 || h.Pending() > 0; steps++ {
+		if steps > 1<<20 {
+			t.Fatal("drain did not terminate")
+		}
+		if w.Step() != h.Step() || w.Now() != h.Now() {
+			t.Fatal("drain diverged between wheel and heap")
+		}
+	}
+	if len(firedW) != len(firedH) {
+		t.Fatalf("fired %d on wheel, %d on heap", len(firedW), len(firedH))
+	}
+	for i := range firedW {
+		if firedW[i] != firedH[i] {
+			t.Fatalf("firing order diverged at %d: wheel id %d, heap id %d", i, firedW[i], firedH[i])
+		}
+	}
+}
+
+// TestSchedDiffSeeded runs the wheel-vs-heap differential on seeded
+// random op streams, long enough to cross block and super-block
+// boundaries and cascade repeatedly.
+func TestSchedDiffSeeded(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := NewRand(seed)
+		data := make([]byte, 6000)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		runSchedDiff(t, data)
+	}
+}
+
+func FuzzClockSchedule(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 7, 0, 0, 2, 200, 5, 7, 0, 0, 7, 0, 0})
+	f.Add([]byte{2, 3, 9, 7, 0, 0, 3, 0, 0, 0, 230, 0, 7, 0, 0, 7, 0, 0})
+	f.Add([]byte{0, 255, 0, 4, 0, 128, 7, 0, 0, 2, 1, 1, 7, 0, 0, 7, 0, 0, 7, 0, 0})
+	rng := NewRand(42)
+	long := make([]byte, 600)
+	for i := range long {
+		long[i] = byte(rng.Uint64())
+	}
+	f.Add(long)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 30_000 {
+			t.Skip("cap op-stream length")
+		}
+		runSchedDiff(t, data)
+	})
+}
