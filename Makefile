@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-clock bench-fleet bench-tenant trace-smoke serve-smoke clean
+.PHONY: all build test check vet race invariants cover bench-smoke bench-fluid bench-alloc bench-clock bench-fleet bench-tenant trace-smoke serve-smoke grid-smoke clean
 
 all: check
 
@@ -90,6 +90,15 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck trace-smoke.json
 	head -1 trace-smoke.csv
 
+# grid-smoke proves the experiment-grid harness end to end: sweep the
+# checked-in CI smoke grid (engines × workloads × scales × seeds) into
+# grid-smoke-out/ and re-validate the resulting CSV and artifacts
+# against the spec with the validate subcommand.
+grid-smoke:
+	rm -rf grid-smoke-out
+	$(GO) run ./cmd/smrgrid run -spec experiments/smoke.json -out grid-smoke-out
+	$(GO) run ./cmd/smrgrid validate -out grid-smoke-out
+
 # serve-smoke proves the simulation service end to end: boot on an
 # ephemeral port, submit a scenario over HTTP, watch the SSE stream to
 # its terminal `done` event, check artifact determinism across a
@@ -101,4 +110,4 @@ serve-smoke:
 clean:
 	rm -f smapreduce.test mr.test netsim.test
 	rm -f trace-smoke.json trace-smoke.csv cover.out
-	rm -rf serve-smoke-out
+	rm -rf serve-smoke-out grid-smoke-out

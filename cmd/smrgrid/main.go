@@ -1,0 +1,213 @@
+// Command smrgrid drives declarative experiment grids (internal/grid):
+// a JSON spec declaring engines × workloads × scales × seeds expands
+// into cells that run in parallel, journal per-cell completion, and
+// land as validated CSV + JSON + markdown tables in a timestamped
+// paper_runs directory.
+//
+// Usage:
+//
+//	smrgrid run -spec experiments/smoke.json            # fresh sweep into paper_runs/<ts>/
+//	smrgrid run -spec grid.json -out dir -workers 4     # explicit directory and parallelism
+//	smrgrid resume -out dir                             # finish an interrupted sweep
+//	smrgrid validate -out dir                           # re-validate a finished sweep's CSV
+//
+// An interrupted run (Ctrl-C, crash) leaves its journal behind;
+// `smrgrid resume` skips journaled cells and — because every repeat's
+// seed is a pure function of its cell — produces final artifacts
+// byte-identical to an uninterrupted run. Exit code 2 means
+// interrupted-but-resumable.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"smapreduce/internal/grid"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and status code, so the whole
+// command is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 1
+	}
+	var err error
+	switch args[0] {
+	case "run":
+		err = cmdRun(args[1:], stdout)
+	case "resume":
+		err = cmdResume(args[1:], stdout)
+	case "validate":
+		err = cmdValidate(args[1:], stdout)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "smrgrid: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 1
+	}
+	if errors.Is(err, grid.ErrInterrupted) {
+		fmt.Fprintf(stderr, "smrgrid: %v\n", err)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "smrgrid: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  smrgrid run      -spec <file> [-out dir] [-workers n] [-quiet]
+  smrgrid resume   -out <dir> [-workers n] [-quiet]
+  smrgrid validate -out <dir>
+`)
+}
+
+// cmdRun starts a fresh sweep: parse the spec, create the directory
+// (default paper_runs/<timestamp>), persist the canonical spec, run.
+func cmdRun(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smrgrid run", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "grid spec JSON file (required)")
+	out := fs.String("out", "", "run directory (default paper_runs/<timestamp>)")
+	workers := fs.Int("workers", 0, "parallel cell workers (0 = GOMAXPROCS, or SMR_WORKERS)")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress lines on stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("run: -spec is required")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := grid.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	dir := *out
+	if dir == "" {
+		dir = filepath.Join("paper_runs", time.Now().Format("2006-01-02_150405"))
+	}
+	if _, err := os.Stat(filepath.Join(dir, grid.JournalFile)); err == nil {
+		return fmt.Errorf("run: %s already holds a journal; use `smrgrid resume -out %s`", dir, dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, grid.SpecFile), spec.Canonical(), 0o644); err != nil {
+		return err
+	}
+	return sweep(spec, dir, *workers, *quiet, stdout)
+}
+
+// cmdResume finishes an interrupted sweep from its persisted spec.
+func cmdResume(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smrgrid resume", flag.ContinueOnError)
+	out := fs.String("out", "", "run directory of the interrupted sweep (required)")
+	workers := fs.Int("workers", 0, "parallel cell workers (0 = GOMAXPROCS, or SMR_WORKERS)")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress lines on stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := readSpec(*out)
+	if err != nil {
+		return err
+	}
+	return sweep(spec, *out, *workers, *quiet, stdout)
+}
+
+// cmdValidate re-checks a finished sweep: the CSV against the spec's
+// schema and cell set, and the presence of the sibling artifacts.
+func cmdValidate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smrgrid validate", flag.ContinueOnError)
+	out := fs.String("out", "", "run directory to validate (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := readSpec(*out)
+	if err != nil {
+		return err
+	}
+	csv, err := os.ReadFile(filepath.Join(*out, grid.GridCSV))
+	if err != nil {
+		return fmt.Errorf("validate: %w (incomplete sweep? try `smrgrid resume -out %s`)", err, *out)
+	}
+	if err := grid.ValidateCSV(spec, csv); err != nil {
+		return err
+	}
+	for _, name := range []string{grid.GridJSON, grid.AnalysisTables} {
+		if _, err := os.Stat(filepath.Join(*out, name)); err != nil {
+			return fmt.Errorf("validate: missing artifact: %w", err)
+		}
+	}
+	cells := grid.Expand(spec)
+	fmt.Fprintf(stdout, "grid OK: %d cells × %d metrics × %d repeats, csv and artifacts valid in %s\n",
+		len(cells), len(grid.MetricNames), spec.Repeats, *out)
+	return nil
+}
+
+// readSpec loads the canonical spec a run directory was started with.
+func readSpec(dir string) (*grid.Spec, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("-out is required")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, grid.SpecFile))
+	if err != nil {
+		return nil, err
+	}
+	return grid.ParseSpec(data)
+}
+
+// sweep executes (or resumes) the grid with SIGINT/SIGTERM wired to a
+// graceful interrupt: in-flight cells finish and are journaled, then
+// the run exits resumable.
+func sweep(spec *grid.Spec, dir string, workers int, quiet bool, stdout io.Writer) error {
+	if err := os.MkdirAll(filepath.Join(dir, "logs"), 0o755); err != nil {
+		return err
+	}
+	logFile, err := os.OpenFile(filepath.Join(dir, grid.RunLog), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer logFile.Close()
+	var log io.Writer = logFile
+	if !quiet {
+		log = io.MultiWriter(stdout, logFile)
+	}
+
+	var stop atomic.Bool
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer func() { signal.Stop(sigs); close(sigs) }() // unblocks the watcher goroutine
+	go func() {
+		if _, ok := <-sigs; ok {
+			stop.Store(true)
+		}
+	}()
+
+	_, err = grid.Run(grid.RunOptions{
+		Spec:     spec,
+		Dir:      dir,
+		Workers:  workers,
+		Stopping: stop.Load,
+		Log:      log,
+	})
+	return err
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smapreduce/internal/mr"
+	"smapreduce/internal/puma"
+)
+
+// Cell adapters: the grid harness (internal/grid) builds each cell's
+// cluster and job specs through these, so a grid cell and a figure
+// harness share one definition of "a cluster of W trackers at scale S
+// running benchmark B" — the same defaults, the same seed plumbing,
+// the same input-size arithmetic.
+
+// ClusterConfig returns the experiment cluster for this configuration:
+// the figure harnesses' cluster() with zero fields defaulted, exported
+// for grid cells.
+func (c Config) ClusterConfig() mr.Config {
+	return c.normalize().cluster()
+}
+
+// CellSpec builds one job spec at the experiment's scale, like spec()
+// but with an explicit reduce count and an error instead of a panic on
+// unknown benchmarks — grid specs are user input, not code.
+func (c Config) CellSpec(bench string, gb float64, reduces int) (mr.JobSpec, error) {
+	c = c.normalize()
+	prof, err := puma.Get(bench)
+	if err != nil {
+		return mr.JobSpec{}, fmt.Errorf("experiments: cell spec: %w", err)
+	}
+	if reduces <= 0 {
+		return mr.JobSpec{}, fmt.Errorf("experiments: cell spec %s: reduces = %d, must be positive", bench, reduces)
+	}
+	return mr.JobSpec{
+		Name:    bench,
+		Profile: prof,
+		InputMB: gb * 1024 * c.Scale,
+		Reduces: reduces,
+	}, nil
+}

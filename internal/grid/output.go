@@ -1,0 +1,235 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"smapreduce/internal/stats"
+)
+
+// Aggregate is one metric's summary over a group of repeats: mean/std
+// via Welford, min/max via the exact accumulator.
+type Aggregate struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// aggregateMetric folds one metric of a repeat list. Accumulation
+// order is the repeat order — fixed — so the result is deterministic.
+func aggregateMetric(repeats []Metrics, name string) Aggregate {
+	var w stats.Welford
+	var acc stats.Acc
+	for _, m := range repeats {
+		v := m.Value(name)
+		w.Add(v)
+		acc.Add(v)
+	}
+	return Aggregate{N: w.N(), Mean: w.Mean(), Std: w.StdDev(), Min: acc.Min(), Max: acc.Max()}
+}
+
+// aggregates summarises every metric of a repeat list in MetricNames
+// order.
+func aggregates(repeats []Metrics) map[string]Aggregate {
+	out := make(map[string]Aggregate, len(MetricNames))
+	for _, name := range MetricNames {
+		out[name] = aggregateMetric(repeats, name)
+	}
+	return out
+}
+
+// gridJSON is the grid.json document: the spec plus every cell with
+// its raw repeats and aggregates, in canonical cell order.
+type gridJSON struct {
+	Spec  *Spec          `json:"spec"`
+	Cells []gridJSONCell `json:"cells"`
+}
+
+type gridJSONCell struct {
+	CellRecord
+	Aggregates map[string]Aggregate `json:"aggregates"`
+}
+
+// writeArtifacts renders the final outputs from the completed records.
+// Everything here is a pure function of (spec, records), and records
+// are pure functions of their cells — which is why an interrupted and
+// resumed sweep reproduces an uninterrupted sweep's artifacts
+// byte-for-byte.
+func writeArtifacts(dir string, spec *Spec, res *Result) error {
+	doc := gridJSON{Spec: spec, Cells: make([]gridJSONCell, len(res.Records))}
+	for i, rec := range res.Records {
+		doc.Cells[i] = gridJSONCell{CellRecord: rec, Aggregates: aggregates(rec.Repeats)}
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("grid: encoding grid.json: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, GridJSON), append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("grid: writing grid.json: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, GridCSV), CSV(res), 0o644); err != nil {
+		return fmt.Errorf("grid: writing grid.csv: %w", err)
+	}
+	tablesPath := filepath.Join(dir, AnalysisTables)
+	if err := os.MkdirAll(filepath.Dir(tablesPath), 0o755); err != nil {
+		return fmt.Errorf("grid: creating analysis dir: %w", err)
+	}
+	if err := os.WriteFile(tablesPath, AnalysisMarkdown(spec, res), 0o644); err != nil {
+		return fmt.Errorf("grid: writing analysis tables: %w", err)
+	}
+	return nil
+}
+
+// csvHeader is the grid.csv column schema the validator enforces.
+var csvHeader = []string{"engine", "workload", "scale", "seed", "metric", "n", "mean", "std", "min", "max"}
+
+// num renders a float for CSV: shortest decimal that re-parses to the
+// identical value, so the CSV is both exact and deterministic.
+func num(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CSV renders the result as one row per (cell, metric), cells in
+// canonical order, metrics in MetricNames order — exactly
+// len(cells) × len(MetricNames) data rows.
+func CSV(res *Result) []byte {
+	var b bytes.Buffer
+	b.WriteString(strings.Join(csvHeader, ","))
+	b.WriteByte('\n')
+	for _, rec := range res.Records {
+		for _, name := range MetricNames {
+			a := aggregateMetric(rec.Repeats, name)
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%s,%d,%s,%s,%s,%s\n",
+				rec.Engine, rec.Workload, rec.Scale, rec.Seed, name,
+				a.N, num(a.Mean), num(a.Std), num(a.Min), num(a.Max))
+		}
+	}
+	return b.Bytes()
+}
+
+// ValidateCSV checks a grid.csv against its spec: exact column schema,
+// parseable and finite values, internal consistency (std ≥ 0,
+// min ≤ mean ≤ max, n = repeats), row count = cells × metrics, and
+// full coverage — every (cell, metric) pair exactly once.
+func ValidateCSV(spec *Spec, data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[0] != strings.Join(csvHeader, ",") {
+		return fmt.Errorf("grid: csv: bad header (want %q)", strings.Join(csvHeader, ","))
+	}
+	if lines[len(lines)-1] != "" {
+		return fmt.Errorf("grid: csv: missing trailing newline")
+	}
+	rows := lines[1 : len(lines)-1]
+	cells := Expand(spec)
+	if want := len(cells) * len(MetricNames); len(rows) != want {
+		return fmt.Errorf("grid: csv: %d data rows, want cells × metrics = %d × %d = %d",
+			len(rows), len(cells), len(MetricNames), want)
+	}
+	metricOK := make(map[string]bool, len(MetricNames))
+	for _, m := range MetricNames {
+		metricOK[m] = true
+	}
+	cellIdx := make(map[string]int, len(cells))
+	for i, c := range cells {
+		cellIdx[c.Key] = i
+	}
+	seen := make(map[string]bool, len(rows))
+	for i, row := range rows {
+		line := i + 2 // 1-based, after the header
+		f := strings.Split(row, ",")
+		if len(f) != len(csvHeader) {
+			return fmt.Errorf("grid: csv:%d: %d columns, want %d", line, len(f), len(csvHeader))
+		}
+		seed, err := strconv.ParseUint(f[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("grid: csv:%d: bad seed %q", line, f[3])
+		}
+		key := CellKey(f[0], f[1], f[2], seed)
+		if _, ok := cellIdx[key]; !ok {
+			return fmt.Errorf("grid: csv:%d: cell %q is not in the spec's grid", line, key)
+		}
+		if !metricOK[f[4]] {
+			return fmt.Errorf("grid: csv:%d: unknown metric %q", line, f[4])
+		}
+		pair := key + "/" + f[4]
+		if seen[pair] {
+			return fmt.Errorf("grid: csv:%d: duplicate row for %s", line, pair)
+		}
+		seen[pair] = true
+		n, err := strconv.Atoi(f[5])
+		if err != nil || n != spec.Repeats {
+			return fmt.Errorf("grid: csv:%d: n = %q, want repeats = %d", line, f[5], spec.Repeats)
+		}
+		vals := make([]float64, 4)
+		for vi, col := range f[6:] {
+			v, err := strconv.ParseFloat(col, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("grid: csv:%d: %s = %q, want a finite number", line, csvHeader[6+vi], col)
+			}
+			vals[vi] = v
+		}
+		mean, std, min, max := vals[0], vals[1], vals[2], vals[3]
+		if std < 0 {
+			return fmt.Errorf("grid: csv:%d: std = %v, must be >= 0", line, std)
+		}
+		// mean is a float fold; it may land an ulp outside [min, max].
+		slack := 1e-9 * math.Max(1, math.Abs(mean))
+		if min > mean+slack || mean > max+slack {
+			return fmt.Errorf("grid: csv:%d: min/mean/max out of order: %v / %v / %v", line, min, mean, max)
+		}
+	}
+	return nil
+}
+
+// AnalysisMarkdown renders engine-comparison tables: one table per
+// (workload, scale) with a row per engine, pooling every seed's
+// repeats. Pure function of (spec, records) — byte-stable across
+// worker counts and resume.
+func AnalysisMarkdown(spec *Spec, res *Result) []byte {
+	// Shown metrics: the comparison-relevant subset, full data in the CSV.
+	shown := []string{"makespan_s", "mean_exec_s", "p50_s", "p99_s", "slo_misses"}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# Grid analysis — %s\n", spec.Name)
+	fmt.Fprintf(&b, "\n%d engines × %d workloads × %d scales × %d seeds, %d repeats per cell (%d cells).\n",
+		len(spec.Engines), len(spec.Workloads), len(spec.Scales), len(spec.Seeds), spec.Repeats, len(res.Records))
+	fmt.Fprintf(&b, "Values are mean ± std pooled over seeds and repeats; the full per-cell data is in %s.\n", GridCSV)
+
+	// Group records once: records are in canonical order (engine
+	// outermost), so scanning per (workload, scale, engine) just
+	// filters.
+	for _, w := range spec.Workloads {
+		for _, sc := range spec.Scales {
+			fmt.Fprintf(&b, "\n## %s @ %s (%d workers, input ×%s)\n\n", w.Name, sc.Name, sc.Workers, num(sc.InputScale))
+			b.WriteString("| engine |")
+			for _, m := range shown {
+				fmt.Fprintf(&b, " %s |", m)
+			}
+			b.WriteString("\n|---|")
+			for range shown {
+				b.WriteString("---|")
+			}
+			b.WriteByte('\n')
+			for _, eng := range spec.Engines {
+				var pooled []Metrics
+				for _, rec := range res.Records {
+					if rec.Engine == eng && rec.Workload == w.Name && rec.Scale == sc.Name {
+						pooled = append(pooled, rec.Repeats...)
+					}
+				}
+				fmt.Fprintf(&b, "| %s |", eng)
+				for _, m := range shown {
+					a := aggregateMetric(pooled, m)
+					fmt.Fprintf(&b, " %.4g ± %.2g |", a.Mean, a.Std)
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.Bytes()
+}

@@ -1,0 +1,108 @@
+package grid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregateMetricMatchesNaive(t *testing.T) {
+	repeats := []Metrics{
+		{MakespanS: 10}, {MakespanS: 12}, {MakespanS: 9.5}, {MakespanS: 11.25},
+	}
+	a := aggregateMetric(repeats, "makespan_s")
+	if a.N != 4 || a.Min != 9.5 || a.Max != 12 {
+		t.Errorf("n/min/max = %d/%v/%v, want 4/9.5/12", a.N, a.Min, a.Max)
+	}
+	mean := (10 + 12 + 9.5 + 11.25) / 4
+	if math.Abs(a.Mean-mean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", a.Mean, mean)
+	}
+	var m2 float64
+	for _, m := range repeats {
+		d := m.MakespanS - mean
+		m2 += d * d
+	}
+	if want := math.Sqrt(m2 / 4); math.Abs(a.Std-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", a.Std, want)
+	}
+}
+
+// fakeResult builds a spec-consistent Result without running anything,
+// so CSV/validator tests are instant.
+func fakeResult(t *testing.T, spec *Spec) *Result {
+	t.Helper()
+	cells := Expand(spec)
+	res := &Result{Cells: cells, Records: make([]CellRecord, len(cells))}
+	for i := range cells {
+		rec := cellRecordHeader(&cells[i])
+		rec.Repeats = make([]Metrics, spec.Repeats)
+		for rep := range rec.Repeats {
+			rec.Repeats[rep] = Metrics{
+				Jobs: 1, Completed: 1,
+				MakespanS: float64(10*i + rep + 1), MeanExecS: float64(i + 1),
+				P50S: 1, P99S: 2,
+			}
+		}
+		res.Records[i] = rec
+	}
+	return res
+}
+
+func TestValidateCSVAcceptsGenerated(t *testing.T) {
+	spec := mustSpec(t, tinySpec)
+	if err := ValidateCSV(spec, CSV(fakeResult(t, spec))); err != nil {
+		t.Errorf("generated CSV rejected: %v", err)
+	}
+}
+
+func TestValidateCSVRejects(t *testing.T) {
+	spec := mustSpec(t, tinySpec)
+	good := string(CSV(fakeResult(t, spec)))
+	lines := strings.SplitAfter(good, "\n") // keeps the \n on each line
+	missingRow := strings.Join(lines[:3], "") + strings.Join(lines[4:], "")
+	mutate := func(old, new string) string {
+		t.Helper()
+		s := strings.Replace(good, old, new, 1)
+		if s == good {
+			t.Fatalf("mutation %q not applied", old)
+		}
+		return s
+	}
+	cases := map[string]string{
+		"bad header":       mutate("engine,workload", "engine,load"),
+		"missing newline":  strings.TrimSuffix(good, "\n"),
+		"missing row":      missingRow,
+		"extra row":        good + lines[1],
+		"short row":        mutate("HadoopV1,one-grep,w4,1,jobs", "HadoopV1,one-grep,w4,1"),
+		"bad seed":         mutate("w4,1,jobs", "w4,one,jobs"),
+		"foreign cell":     mutate("HadoopV1,one-grep,w4,1,jobs", "HadoopV1,one-grep,w4,9,jobs"),
+		"unknown metric":   mutate("jobs", "walltime"),
+		"duplicate pair":   strings.Replace(good, lines[2], lines[1], 1),
+		"wrong n":          mutate("jobs,2,", "jobs,3,"),
+		"non-finite value": mutate("makespan_s,2,1.5,", "makespan_s,2,NaN,"),
+		"unparsable value": mutate("makespan_s,2,1.5,", "makespan_s,2,fast,"),
+		"negative std":     mutate(",0.5,1,2\n", ",-0.5,1,2\n"),
+		"mean above max":   mutate("makespan_s,2,1.5,0.5,1,2", "makespan_s,2,5,0.5,1,2"),
+	}
+	for name, text := range cases {
+		if err := ValidateCSV(spec, []byte(text)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, text)
+		}
+	}
+}
+
+func TestAnalysisMarkdown(t *testing.T) {
+	spec := mustSpec(t, tinySpec)
+	md := string(AnalysisMarkdown(spec, fakeResult(t, spec)))
+	for _, want := range []string{
+		"# Grid analysis — tiny",
+		"## one-grep @ w4 (4 workers, input ×0.25)",
+		"| HadoopV1 |", "| SMapReduce |",
+		"makespan_s", "±",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("analysis markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package grid
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestResumeByteIdentical is the resume-correctness satellite: run the
+// smoke grid, interrupt after K journaled cells, resume, and
+// byte-compare every final artifact against an uninterrupted run of
+// the same spec. The log is excluded (wall-clock timestamps); spec,
+// CSV, JSON and analysis tables must match exactly.
+func TestResumeByteIdentical(t *testing.T) {
+	spec := mustSpec(t, readSmokeSpec(t))
+
+	baseline := t.TempDir()
+	if _, err := Run(RunOptions{Spec: spec, Dir: baseline}); err != nil {
+		t.Fatalf("uninterrupted sweep: %v", err)
+	}
+
+	for _, k := range []int{1, 5} {
+		dir := t.TempDir()
+		res, err := Run(RunOptions{Spec: spec, Dir: dir, Workers: 2, StopAfter: k})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("StopAfter=%d: err = %v, want ErrInterrupted", k, err)
+		}
+		if res.Ran < k || res.Ran >= len(res.Cells) {
+			t.Fatalf("StopAfter=%d: ran %d of %d cells; interruption did not bite", k, res.Ran, len(res.Cells))
+		}
+		res2, err := Run(RunOptions{Spec: spec, Dir: dir, Workers: 2})
+		if err != nil {
+			t.Fatalf("resume after StopAfter=%d: %v", k, err)
+		}
+		if res2.Resumed != res.Ran || res2.Resumed+res2.Ran != len(res.Cells) {
+			t.Errorf("resume after StopAfter=%d: resumed %d, ran %d; journal held %d of %d",
+				k, res2.Resumed, res2.Ran, res.Ran, len(res.Cells))
+		}
+		for _, name := range []string{GridCSV, GridJSON, AnalysisTables} {
+			want := readArtifact(t, baseline, name)
+			got := readArtifact(t, dir, name)
+			if string(got) != string(want) {
+				t.Errorf("StopAfter=%d: %s differs from the uninterrupted sweep", k, name)
+			}
+		}
+	}
+}
+
+// TestResumeSurvivesLostArtifacts checks a rerun regenerates final
+// artifacts from the journal alone.
+func TestResumeSurvivesLostArtifacts(t *testing.T) {
+	spec := mustSpec(t, tinySpec)
+	_, dir := runTiny(t, RunOptions{Spec: spec})
+	want := readArtifact(t, dir, GridCSV)
+	if err := os.Remove(filepath.Join(dir, GridCSV)); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := runTiny(t, RunOptions{Spec: spec, Dir: dir})
+	if res.Ran != 0 {
+		t.Errorf("regeneration recomputed %d cells", res.Ran)
+	}
+	if got := readArtifact(t, dir, GridCSV); string(got) != string(want) {
+		t.Error("regenerated grid.csv differs")
+	}
+}

@@ -1,0 +1,304 @@
+// Package grid is the declarative experiment-grid harness: a JSON
+// spec declares axes — engines × workloads × scales × seeds, with
+// independent repeats per cell — that expand into a deterministic cell
+// list executed in parallel on internal/par workers with per-worker
+// simulation-substrate reuse (the internal/fleet idiom). Results land
+// in a timestamped output directory as a per-cell completion journal
+// (so an interrupted sweep resumes by skipping journaled cells), a
+// validated CSV, a full-fidelity grid.json and generated markdown
+// comparison tables.
+//
+// Two properties carry the repo's reproducibility guarantees onto the
+// grid:
+//
+//   - Every repeat's seed is a pure function of (cell key, repeat
+//     index), so a cell's result does not depend on which worker ran
+//     it, how many workers ran the sweep, or whether the sweep was
+//     interrupted and resumed.
+//
+//   - Specs are canonicalised: ParseSpec(s.Canonical()) reproduces
+//     Canonical() byte-for-byte, engine names and chaos schedules
+//     included, so a spec checked into a run directory is a stable
+//     artifact the resume and validate paths can trust.
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+
+	"smapreduce/internal/arrival"
+	"smapreduce/internal/chaos"
+	"smapreduce/internal/cli"
+	"smapreduce/internal/puma"
+)
+
+// Spec declares an experiment grid. Cells are the cross product
+// engines × workloads × scales × seeds; each cell runs Repeats times
+// with independently derived seeds (see RepeatSeed).
+type Spec struct {
+	// Name identifies the grid (safe-name charset: letters, digits,
+	// '.', '_', '-').
+	Name string `json:"name"`
+	// Repeats is the number of independent runs per cell, each with its
+	// own derived seed. Must be positive.
+	Repeats int `json:"repeats"`
+	// Seeds are the base seeds of the seed axis. Must be non-empty and
+	// duplicate-free.
+	Seeds []uint64 `json:"seeds"`
+	// Engines names the compared systems (any name internal/cli's
+	// ParseEngine accepts); canonicalised to core.Engine.String() form.
+	Engines []string `json:"engines"`
+	// Scales is the cluster-geometry axis.
+	Scales []Scale `json:"scales"`
+	// Workloads is the workload axis.
+	Workloads []Workload `json:"workloads"`
+}
+
+// Scale is one point on the cluster-geometry axis.
+type Scale struct {
+	// Name identifies the scale in cell keys and output rows.
+	Name string `json:"name"`
+	// Workers is the task-tracker count. Must be positive.
+	Workers int `json:"workers"`
+	// InputScale multiplies every workload's input sizes (jobs'
+	// input_gb and arrival tenants' input bounds). Must be positive.
+	InputScale float64 `json:"input_scale"`
+}
+
+// Workload is one point on the workload axis: either a fixed job list
+// (the figure-harness shape: single jobs, staggered multi-job mixes)
+// or an open arrival process, optionally under a chaos schedule.
+type Workload struct {
+	// Name identifies the workload in cell keys and output rows.
+	Name string `json:"name"`
+	// Jobs is the closed-workload job list. Exactly one of Jobs and
+	// Arrivals must be set.
+	Jobs []Job `json:"jobs,omitempty"`
+	// Arrivals is the open-workload arrival process (tenant mixes,
+	// Poisson/diurnal rates, horizons — arrival.Config's schema).
+	Arrivals *arrival.Config `json:"arrivals,omitempty"`
+	// Chaos is a fault schedule in internal/chaos's text format,
+	// applied to every cell of this workload; canonicalised to
+	// chaos.Schedule.String() form. Fault targets must be valid for
+	// every scale's worker count.
+	Chaos string `json:"chaos,omitempty"`
+	// Tenants configures capacity-policy weights and guarantees for
+	// the capacity engines (ignored by the paper's three engines).
+	Tenants []Tenant `json:"tenants,omitempty"`
+}
+
+// Job is one fixed job in a closed workload.
+type Job struct {
+	// Benchmark is a PUMA profile name.
+	Benchmark string `json:"benchmark"`
+	// InputGB is the input size in GB before the scale axis's
+	// InputScale multiplier. Must be positive and finite.
+	InputGB float64 `json:"input_gb"`
+	// Reduces is the reduce task count. Must be positive.
+	Reduces int `json:"reduces"`
+	// SubmitAt is the virtual submission time in seconds.
+	SubmitAt float64 `json:"submit_at,omitempty"`
+	// Tenant names the queue the job bills to (capacity policies).
+	Tenant string `json:"tenant,omitempty"`
+	// SLOSeconds is the job's latency objective (0 = none).
+	SLOSeconds float64 `json:"slo_seconds,omitempty"`
+}
+
+// Tenant configures one tenant for the capacity engines.
+type Tenant struct {
+	Name string `json:"name"`
+	// Weight scales the tenant's share (FairShare, GameTheoretic);
+	// 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Guarantee is the capacity fraction reserved under CapacityQueue,
+	// in [0,1]; guarantees must sum to at most 1.
+	Guarantee float64 `json:"guarantee,omitempty"`
+}
+
+// safeName restricts axis names to characters that survive cell keys,
+// file names and CSV rows unquoted.
+var safeName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// ParseSpec decodes a JSON grid spec, rejecting unknown fields, and
+// validates and canonicalises it (engine names to their core.Engine
+// form, chaos schedules to their chaos.Schedule.String() form).
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("grid: parsing spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("grid: parsing spec: trailing data after the spec object")
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// validate checks the spec and rewrites engine names and chaos
+// schedules to canonical form in place.
+func (s *Spec) validate() error {
+	if !safeName.MatchString(s.Name) {
+		return fmt.Errorf("grid: spec name %q invalid (want %s)", s.Name, safeName)
+	}
+	if s.Repeats <= 0 {
+		return fmt.Errorf("grid: repeats = %d, must be positive", s.Repeats)
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("grid: seeds axis is empty")
+	}
+	seen := make(map[uint64]bool, len(s.Seeds))
+	for _, sd := range s.Seeds {
+		if seen[sd] {
+			return fmt.Errorf("grid: duplicate seed %d", sd)
+		}
+		seen[sd] = true
+	}
+	if len(s.Engines) == 0 {
+		return fmt.Errorf("grid: engines axis is empty")
+	}
+	engines := make(map[string]bool, len(s.Engines))
+	for i, name := range s.Engines {
+		e, err := cli.ParseEngine(name)
+		if err != nil {
+			return fmt.Errorf("grid: engines[%d]: %w", i, err)
+		}
+		canon := e.String()
+		if engines[canon] {
+			return fmt.Errorf("grid: duplicate engine %s", canon)
+		}
+		engines[canon] = true
+		s.Engines[i] = canon
+	}
+	if len(s.Scales) == 0 {
+		return fmt.Errorf("grid: scales axis is empty")
+	}
+	scales := make(map[string]bool, len(s.Scales))
+	for i, sc := range s.Scales {
+		switch {
+		case !safeName.MatchString(sc.Name):
+			return fmt.Errorf("grid: scales[%d]: name %q invalid (want %s)", i, sc.Name, safeName)
+		case scales[sc.Name]:
+			return fmt.Errorf("grid: duplicate scale %q", sc.Name)
+		case sc.Workers <= 0:
+			return fmt.Errorf("grid: scale %s: workers = %d, must be positive", sc.Name, sc.Workers)
+		case sc.InputScale <= 0 || math.IsInf(sc.InputScale, 0):
+			return fmt.Errorf("grid: scale %s: input_scale = %v, must be positive and finite", sc.Name, sc.InputScale)
+		}
+		scales[sc.Name] = true
+	}
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("grid: workloads axis is empty")
+	}
+	workloads := make(map[string]bool, len(s.Workloads))
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if !safeName.MatchString(w.Name) {
+			return fmt.Errorf("grid: workloads[%d]: name %q invalid (want %s)", i, w.Name, safeName)
+		}
+		if workloads[w.Name] {
+			return fmt.Errorf("grid: duplicate workload %q", w.Name)
+		}
+		workloads[w.Name] = true
+		if err := w.validate(s.Scales); err != nil {
+			return fmt.Errorf("grid: workload %s: %w", w.Name, err)
+		}
+	}
+	return nil
+}
+
+// validate checks one workload against every scale and canonicalises
+// its chaos schedule in place.
+func (w *Workload) validate(scales []Scale) error {
+	switch {
+	case len(w.Jobs) == 0 && w.Arrivals == nil:
+		return fmt.Errorf("neither jobs nor arrivals set")
+	case len(w.Jobs) > 0 && w.Arrivals != nil:
+		return fmt.Errorf("both jobs and arrivals set; want exactly one")
+	}
+	for i, j := range w.Jobs {
+		if err := j.validate(); err != nil {
+			return fmt.Errorf("jobs[%d]: %w", i, err)
+		}
+	}
+	if w.Arrivals != nil {
+		if err := w.Arrivals.Validate(); err != nil {
+			return err
+		}
+	}
+	if w.Chaos != "" {
+		sched, err := chaos.ParseSchedule(w.Chaos)
+		if err != nil {
+			return err
+		}
+		if len(sched.Faults) == 0 {
+			return fmt.Errorf("chaos schedule is empty; omit the field instead")
+		}
+		// Fault targets must exist at every scale, so validate against
+		// the smallest cluster the schedule will ever be applied to.
+		for _, sc := range scales {
+			if err := sched.Validate(sc.Workers); err != nil {
+				return fmt.Errorf("at scale %s: %w", sc.Name, err)
+			}
+		}
+		w.Chaos = sched.String()
+	}
+	names := make(map[string]bool, len(w.Tenants))
+	sumGuarantee := 0.0
+	for i, t := range w.Tenants {
+		switch {
+		case t.Name == "":
+			return fmt.Errorf("tenants[%d]: empty name", i)
+		case names[t.Name]:
+			return fmt.Errorf("duplicate tenant %q", t.Name)
+		case t.Weight < 0 || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0):
+			return fmt.Errorf("tenant %s: weight = %v, must be >= 0 and finite", t.Name, t.Weight)
+		case t.Guarantee < 0 || t.Guarantee > 1 || math.IsNaN(t.Guarantee):
+			return fmt.Errorf("tenant %s: guarantee = %v, must be in [0,1]", t.Name, t.Guarantee)
+		}
+		names[t.Name] = true
+		sumGuarantee += t.Guarantee
+	}
+	if sumGuarantee > 1+1e-9 {
+		return fmt.Errorf("tenant guarantees sum to %v, must be <= 1", sumGuarantee)
+	}
+	return nil
+}
+
+// validate checks one job entry.
+func (j Job) validate() error {
+	if _, err := puma.Get(j.Benchmark); err != nil {
+		return err
+	}
+	switch {
+	case j.InputGB <= 0 || math.IsInf(j.InputGB, 0):
+		return fmt.Errorf("input_gb = %v, must be positive and finite", j.InputGB)
+	case j.Reduces <= 0:
+		return fmt.Errorf("reduces = %d, must be positive", j.Reduces)
+	case j.SubmitAt < 0 || math.IsNaN(j.SubmitAt) || math.IsInf(j.SubmitAt, 0):
+		return fmt.Errorf("submit_at = %v, must be >= 0 and finite", j.SubmitAt)
+	case j.SLOSeconds < 0 || math.IsNaN(j.SLOSeconds) || math.IsInf(j.SLOSeconds, 0):
+		return fmt.Errorf("slo_seconds = %v, must be >= 0 and finite", j.SLOSeconds)
+	}
+	return nil
+}
+
+// Canonical renders the spec in its canonical JSON form: indented,
+// fixed field order, canonical engine names and chaos text, trailing
+// newline. ParseSpec(s.Canonical()) reproduces these bytes exactly —
+// the fixed point the fuzzer pins.
+func (s *Spec) Canonical() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Spec contains only marshalable fields; Validate rejected
+		// non-finite floats, the one runtime marshal error source.
+		panic(fmt.Sprintf("grid: canonicalising spec: %v", err))
+	}
+	return append(b, '\n')
+}

@@ -44,6 +44,17 @@ func For(n int, fn func(i int) error) error {
 // pooled simulation substrate) in a slice indexed by worker without
 // synchronisation.
 func ForN(n, workers int, fn func(worker, i int) error) error {
+	return ForNUntil(n, workers, nil, fn)
+}
+
+// ForNUntil is ForN with a stop predicate for resumable sweeps: stop
+// is polled before each iteration is handed to a worker, and once it
+// reports true no further iterations start — in-flight iterations
+// finish normally and their results stand. Skipped iterations are not
+// an error; the caller knows which iterations ran by what fn recorded
+// (a journal, a result slice). stop may be called concurrently from
+// every worker and must be safe for that; nil means never stop.
+func ForNUntil(n, workers int, stop func() bool, fn func(worker, i int) error) error {
 	if workers <= 0 {
 		workers = Workers()
 	}
@@ -52,6 +63,9 @@ func ForN(n, workers int, fn func(worker, i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if stop != nil && stop() {
+				return nil
+			}
 			if err := fn(0, i); err != nil {
 				return err
 			}
@@ -74,6 +88,12 @@ func ForN(n, workers int, fn func(worker, i int) error) error {
 		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
+				// Re-check on the worker side too: the dispatcher runs a
+				// full round ahead, and a buffered index should not start
+				// after the stop — only genuinely in-flight work finishes.
+				if stop != nil && stop() {
+					continue
+				}
 				if err := fn(worker, i); err != nil {
 					mu.Lock()
 					if errIdx < 0 || i < errIdx {
@@ -85,6 +105,9 @@ func ForN(n, workers int, fn func(worker, i int) error) error {
 		}(w)
 	}
 	for i := 0; i < n; i++ {
+		if stop != nil && stop() {
+			break
+		}
 		next <- i
 	}
 	close(next)

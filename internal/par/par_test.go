@@ -129,3 +129,85 @@ func TestForHonoursWorkersEnv(t *testing.T) {
 		t.Fatalf("ran %d iterations, want 100", ran.Load())
 	}
 }
+
+func TestForNUntilNeverStop(t *testing.T) {
+	// A nil predicate and an always-false predicate both run everything.
+	for _, stop := range []func() bool{nil, func() bool { return false }} {
+		var ran atomic.Int64
+		if err := ForNUntil(50, 4, stop, func(_, i int) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("ran %d iterations, want 50", ran.Load())
+		}
+	}
+}
+
+func TestForNUntilImmediateStop(t *testing.T) {
+	// A predicate that is already true lets nothing start, on both the
+	// serial and the concurrent path, and reports no error.
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForNUntil(50, workers, func() bool { return true }, func(_, i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: ran %d iterations after an immediate stop", workers, ran.Load())
+		}
+	}
+}
+
+func TestForNUntilStopsEarly(t *testing.T) {
+	// Tripping the predicate from inside an iteration bounds how much
+	// more can run: the dispatcher buffers at most one round ahead, so
+	// after the trip at most (iterations already dispatched) finish —
+	// never all n. Every index that does run, runs exactly once.
+	const n = 10000
+	for _, workers := range []int{1, 4} {
+		var stopped atomic.Bool
+		var ran atomic.Int64
+		seen := make([]atomic.Int32, n)
+		err := ForNUntil(n, workers, stopped.Load, func(_, i int) error {
+			seen[i].Add(1)
+			if ran.Add(1) == 5 {
+				stopped.Store(true)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ran.Load(); got < 5 || got == n {
+			t.Errorf("workers=%d: ran %d of %d iterations; want >=5 and < n", workers, got, n)
+		}
+		for i := range seen {
+			if c := seen[i].Load(); c > 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForNUntilErrorBeatsStop(t *testing.T) {
+	// An error from an iteration that ran is reported even if the sweep
+	// also stopped.
+	want := errors.New("boom")
+	var stopped atomic.Bool
+	err := ForNUntil(100, 2, stopped.Load, func(_, i int) error {
+		if i == 0 {
+			stopped.Store(true)
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}

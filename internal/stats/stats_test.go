@@ -261,3 +261,81 @@ func TestQuickHistogramConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ulps returns the distance between a and b in representable float64
+// steps (0 = identical, 1 = adjacent).
+func ulps(a, b float64) uint64 {
+	if a == b {
+		return 0
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.Signbit(a) != math.Signbit(b) {
+		return math.MaxUint64
+	}
+	ai, bi := math.Float64bits(a), math.Float64bits(b)
+	if ai > bi {
+		return ai - bi
+	}
+	return bi - ai
+}
+
+// TestWelfordMergeMatchesTwoPass pins Merge's accuracy: for split
+// accumulators over benign data, the merged mean and std must land
+// within 1 ulp of a naive two-pass reference over the concatenation.
+func TestWelfordMergeMatchesTwoPass(t *testing.T) {
+	datasets := map[string][]float64{
+		"integers":      {1, 2, 3, 4, 5, 6, 7, 8},
+		"makespans":     {81.8125, 86.59375, 73.25, 60.5, 92.5, 65.25},
+		"constant":      {5, 5, 5, 5, 5},
+		"single-each":   {3, 11},
+		"mixed-magnit.": {0.125, 1024, 7.5, 0.0625, 96},
+	}
+	for name, xs := range datasets {
+		// Two-pass reference: exact mean then centered second moment.
+		mean := Mean(xs)
+		m2 := 0.0
+		for _, x := range xs {
+			d := x - mean
+			m2 += d * d
+		}
+		std := math.Sqrt(m2 / float64(len(xs)))
+
+		for cut := 1; cut < len(xs); cut++ {
+			var a, b Welford
+			for _, x := range xs[:cut] {
+				a.Add(x)
+			}
+			for _, x := range xs[cut:] {
+				b.Add(x)
+			}
+			a.Merge(&b)
+			if a.N() != len(xs) {
+				t.Fatalf("%s cut %d: merged n = %d, want %d", name, cut, a.N(), len(xs))
+			}
+			if d := ulps(a.Mean(), mean); d > 1 {
+				t.Errorf("%s cut %d: merged mean %v is %d ulps from two-pass %v", name, cut, a.Mean(), d, mean)
+			}
+			if d := ulps(a.StdDev(), std); d > 1 {
+				t.Errorf("%s cut %d: merged std %v is %d ulps from two-pass %v", name, cut, a.StdDev(), d, std)
+			}
+		}
+	}
+}
+
+// TestWelfordMergeEmptySides checks both identity cases: merging an
+// empty accumulator in, and merging into an empty accumulator.
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var a, empty Welford
+	for _, x := range []float64{2, 4, 6} {
+		a.Add(x)
+	}
+	before := a
+	a.Merge(&empty)
+	if a != before {
+		t.Error("merging an empty accumulator changed the receiver")
+	}
+	var dst Welford
+	dst.Merge(&a)
+	if dst != a {
+		t.Error("merging into an empty accumulator did not copy")
+	}
+}
